@@ -1,0 +1,78 @@
+// Fig. 4: the temporally encoded sort across two vectors. Vector A
+// {1,0,1,1} (inverted Hamming distance 3 for query {1,0,0,1}) must report
+// BEFORE vector B {0,0,0,0} (inverted distance 2); the cycle gap encodes
+// the distance difference. The bench then scales the same check to 64
+// random vectors: report times must be a non-decreasing function of
+// Hamming distance.
+
+#include <cstdio>
+#include <iostream>
+
+#include "apsim/simulator.hpp"
+#include "core/engine.hpp"
+#include "core/hamming_macro.hpp"
+#include "core/stream.hpp"
+#include "core/temporal_decode.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace apss;
+
+  // --- The exact Fig. 4 pair -------------------------------------------------
+  anml::AutomataNetwork net;
+  core::append_hamming_macro(net, util::BitVector::parse("1011"), 0);  // A
+  core::append_hamming_macro(net, util::BitVector::parse("0000"), 1);  // B
+  apsim::Simulator sim(net);
+  const core::StreamSpec spec{4, 1};
+  const core::SymbolStreamEncoder enc(spec);
+  const auto events = sim.run(enc.encode_query(util::BitVector::parse("1001")));
+
+  util::TablePrinter table("Fig. 4: report order for query {1,0,0,1}");
+  table.set_header({"vector", "inverted HD", "report cycle", "paper"});
+  for (const auto& e : events) {
+    const std::size_t distance = spec.distance_from_offset(e.cycle);
+    table.add_row({e.report_code == 0 ? "A {1,0,1,1}" : "B {0,0,0,0}",
+                   std::to_string(4 - distance), std::to_string(e.cycle),
+                   e.report_code == 0 ? "t=9" : "t=10"});
+  }
+  table.print(std::cout);
+  if (events.size() != 2 || events[0].report_code != 0 ||
+      events[0].cycle != 9 || events[1].cycle != 10) {
+    std::fprintf(stderr, "FAIL: Fig. 4 order not reproduced\n");
+    return 1;
+  }
+
+  // --- Property at scale: 64 vectors, 8 queries ------------------------------
+  util::Rng rng(4242);
+  const auto data = knn::BinaryDataset::uniform(64, 32, rng.next());
+  anml::AutomataNetwork big;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    core::append_hamming_macro(big, data.vector(i),
+                               static_cast<std::uint32_t>(i));
+  }
+  apsim::Simulator big_sim(big);
+  const core::StreamSpec big_spec{32, 1};
+  const core::SymbolStreamEncoder big_enc(big_spec);
+  const auto queries = knn::BinaryDataset::uniform(8, 32, rng.next());
+  std::size_t checked = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto evs = big_sim.run(big_enc.encode_query(queries.vector(q)));
+    std::size_t prev_distance = 0;
+    for (const auto& e : evs) {
+      const std::size_t distance = big_spec.distance_from_offset(e.cycle);
+      const std::size_t truth =
+          util::hamming_distance(data.row(e.report_code), queries.row(q));
+      if (distance != truth || distance < prev_distance) {
+        std::fprintf(stderr, "FAIL: unsorted or wrong distance\n");
+        return 1;
+      }
+      prev_distance = distance;
+      ++checked;
+    }
+  }
+  std::printf("\nScale check: %zu report events across 8 queries arrived "
+              "sorted by Hamming distance with exact temporal encoding.\n",
+              checked);
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Google-benchmark microbenchmarks for the hot kernels: the Hamming scan
+// (CPU baseline), top-k strategies, stream encoding, cycle-accurate
+// simulation throughput, and ITQ encoding. These quantify the SIMULATION
+// substrate itself (how fast this repo executes automata), complementing
+// the modeled device times in the table benches.
+
+#include <benchmark/benchmark.h>
+
+#include "apsim/simulator.hpp"
+#include "core/engine.hpp"
+#include "core/hamming_macro.hpp"
+#include "core/stream.hpp"
+#include "knn/exact.hpp"
+#include "quant/itq.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace apss;
+
+void BM_HammingDistance(benchmark::State& state) {
+  const std::size_t dims = state.range(0);
+  const auto data = knn::BinaryDataset::uniform(2, dims, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::hamming_distance(data.row(0), data.row(1)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HammingDistance)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_CpuScanQuery(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const auto data = knn::BinaryDataset::uniform(n, 128, 2);
+  const auto query = knn::BinaryDataset::uniform(1, 128, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn::knn_scan(data, query.row(0), 4));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_CpuScanQuery)->Arg(1024)->Arg(1u << 16);
+
+void BM_TopK(benchmark::State& state) {
+  const auto strategy = static_cast<knn::TopKStrategy>(state.range(1));
+  const auto data = knn::BinaryDataset::uniform(state.range(0), 128, 4);
+  const auto query = knn::BinaryDataset::uniform(1, 128, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn::knn_scan(data, query.row(0), 16, strategy));
+  }
+}
+BENCHMARK(BM_TopK)
+    ->ArgsProduct({{4096}, {0 /*heap*/, 1 /*select*/}});
+
+void BM_StreamEncode(benchmark::State& state) {
+  const std::size_t dims = state.range(0);
+  const core::SymbolStreamEncoder enc(core::StreamSpec{dims, 1});
+  const auto queries = knn::BinaryDataset::uniform(16, dims, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode_batch(queries));
+  }
+}
+BENCHMARK(BM_StreamEncode)->Arg(128);
+
+void BM_SimulatorQueryFrame(benchmark::State& state) {
+  // One full query frame against `n` macros of d=128: measures simulated
+  // symbols/second of the frontier-based engine.
+  const std::size_t n = state.range(0);
+  const auto data = knn::BinaryDataset::uniform(n, 128, 7);
+  anml::AutomataNetwork net;
+  for (std::size_t i = 0; i < n; ++i) {
+    core::append_hamming_macro(net, data.vector(i),
+                               static_cast<std::uint32_t>(i));
+  }
+  apsim::Simulator sim(net);
+  const core::SymbolStreamEncoder enc(core::StreamSpec{128, 1});
+  const auto query = knn::BinaryDataset::uniform(1, 128, 8);
+  std::vector<std::uint8_t> stream;
+  enc.append_query(query.row(0), stream);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(stream));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          stream.size());
+  state.counters["symbols/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * stream.size(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorQueryFrame)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_EngineSearch(benchmark::State& state) {
+  const auto data = knn::BinaryDataset::uniform(256, 64, 9);
+  core::ApKnnEngine engine(data);
+  const auto queries = knn::BinaryDataset::uniform(4, 64, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.search(queries, 4));
+  }
+}
+BENCHMARK(BM_EngineSearch);
+
+void BM_ItqEncode(benchmark::State& state) {
+  const quant::Matrix features =
+      quant::gaussian_cluster_features(256, 64, 4, 2.0, 0.5, 11);
+  quant::ItqOptions opt;
+  opt.bits = 64;
+  opt.iterations = 10;
+  const quant::ItqQuantizer q = quant::ItqQuantizer::fit(features, opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.encode(features.row(0)));
+  }
+}
+BENCHMARK(BM_ItqEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

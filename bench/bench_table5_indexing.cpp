@@ -1,0 +1,66 @@
+// Table V: relative speedups for spatial indexing on kNN-TagSpace (large),
+// ARM + AP versus a single-threaded ARM CPU baseline.
+//
+// Technique traversal profiles are MEASURED from this repo's kd-forest,
+// hierarchical k-means tree, and multi-probe LSH over a sampled dataset,
+// then evaluated under the Sec. V-B batching model (see
+// src/perf/indexing_model.hpp for the cost equations and the documented
+// FLANN-backtracking asymmetry on the CPU tree baselines).
+
+#include <iostream>
+
+#include "perf/indexing_model.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace apss;
+  perf::IndexingScenario scenario;
+  scenario.workload = perf::workload("kNN-TagSpace");
+
+  std::cerr << "[bench] building and profiling index structures on a 2^15 "
+               "sample...\n";
+  util::Timer timer;
+  const auto techniques = perf::measure_techniques(scenario, 1u << 15, 2026);
+  std::cerr << "[bench] profiling took "
+            << util::TablePrinter::fmt(timer.seconds(), 1) << " s\n";
+
+  util::TablePrinter profile("Measured traversal profiles (per query)");
+  profile.set_header({"Indexing", "traversal us", "candidates",
+                      "buckets probed", "reconfigs/batch"});
+  for (const auto& t : techniques) {
+    profile.add_row({t.name,
+                     util::TablePrinter::fmt(t.traversal_seconds * 1e6, 1),
+                     util::TablePrinter::fmt(t.candidates_per_query, 0),
+                     util::TablePrinter::fmt(t.buckets_per_query, 1),
+                     util::TablePrinter::fmt(t.distinct_buckets_per_batch, 0)});
+  }
+  profile.print(std::cout);
+  std::cout << '\n';
+
+  // Paper Table V reference values.
+  const double paper_gen1[] = {16.0, 0.89, 0.88, 0.62};
+  const double paper_gen2[] = {91.0, 106.0, 120.0, 3.5};
+
+  util::TablePrinter table(
+      "Table V: indexing speedups vs 1-thread ARM (kNN-TagSpace)");
+  table.set_header({"Indexing", "ARM+AP Gen1 (ours)", "(paper)",
+                    "ARM+AP Gen2 (ours)", "(paper)"});
+  for (std::size_t i = 0; i < techniques.size(); ++i) {
+    const auto gen1 = perf::evaluate_indexing(scenario, techniques[i],
+                                              apsim::DeviceConfig::gen1());
+    const auto gen2 = perf::evaluate_indexing(scenario, techniques[i],
+                                              apsim::DeviceConfig::gen2());
+    table.add_row({techniques[i].name,
+                   util::TablePrinter::fmt(gen1.speedup, 2) + "x",
+                   util::TablePrinter::fmt(paper_gen1[i], 2) + "x",
+                   util::TablePrinter::fmt(gen2.speedup, 1) + "x",
+                   util::TablePrinter::fmt(paper_gen2[i], 1) + "x"});
+  }
+  table.add_note("shape reproduced: Gen1 indexed rows collapse (reconfig "
+                 "dominates); Gen2 recovers large speedups; MPLSH gains "
+                 "least. Magnitudes for the indexed rows depend on the "
+                 "paper's unpublished FLANN/LSHBOX settings (EXPERIMENTS.md).");
+  table.print(std::cout);
+  return 0;
+}

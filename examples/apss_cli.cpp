@@ -1,0 +1,125 @@
+// apss_cli: a small automata workbench on the command line.
+//
+// Usage:
+//   apss_cli pcre '<pattern>' '<input text>'
+//       Compile a PCRE (Sec. II-B programming model) to an NFA, run the
+//       text through the simulator, and print match-end offsets.
+//   apss_cli anml <file.anml> '<input text>'
+//       Load an ANML network, execute it, and print report events.
+//   apss_cli knn <d> <n> <k> [seed]
+//       Build a random n x d-bit dataset, compile it to Hamming/sorting
+//       macros, run one random query end to end, and print the neighbors
+//       plus the placement report — the whole paper pipeline in one shot.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "anml/anml_io.hpp"
+#include "anml/pcre.hpp"
+#include "apsim/placement.hpp"
+#include "apsim/simulator.hpp"
+#include "core/engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace apss;
+
+int run_pcre(const std::string& pattern, const std::string& text) {
+  anml::AutomataNetwork net("cli-pcre");
+  const auto compiled = anml::compile_pcre(net, pattern, 1);
+  std::printf("compiled '%s': %zu states, %zu start, %zu reporting\n",
+              pattern.c_str(), compiled.position_count,
+              compiled.start_states.size(), compiled.reporting_states.size());
+  apsim::Simulator sim(net);
+  const std::vector<std::uint8_t> bytes(text.begin(), text.end());
+  const auto events = sim.run(bytes);
+  if (events.empty()) {
+    std::printf("no matches\n");
+    return 0;
+  }
+  for (const auto& e : events) {
+    std::printf("match ending at offset %llu\n",
+                static_cast<unsigned long long>(e.cycle));
+  }
+  return 0;
+}
+
+int run_anml(const std::string& path, const std::string& text) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const anml::AutomataNetwork net = anml::from_anml(buffer.str());
+  std::printf("loaded '%s': %zu elements, %zu edges\n", net.name().c_str(),
+              net.size(), net.edges().size());
+  apsim::Simulator sim(net, {8, true});  // permissive: all extensions on
+  const std::vector<std::uint8_t> bytes(text.begin(), text.end());
+  for (const auto& e : sim.run(bytes)) {
+    std::printf("report code=%u at cycle %llu\n", e.report_code,
+                static_cast<unsigned long long>(e.cycle));
+  }
+  return 0;
+}
+
+int run_knn(std::size_t dims, std::size_t n, std::size_t k,
+            std::uint64_t seed) {
+  const auto data = knn::BinaryDataset::uniform(n, dims, seed);
+  core::ApKnnEngine engine(data);
+  const auto placement = engine.placement(0);
+  std::printf("compiled %zu vectors x %zu bits: %zu STEs, %zu blocks, "
+              "%s routed\n",
+              n, dims, placement.ste_count, placement.blocks_used,
+              placement.routed ? "fully" : "PARTIALLY");
+
+  auto queries = knn::perturbed_queries(data, 1, 0.1, seed + 1);
+  const auto results = engine.search(queries, k);
+  std::printf("query -> %zu nearest neighbors:\n", results[0].size());
+  for (const auto& nb : results[0]) {
+    std::printf("  vector %6u  distance %u\n", nb.id, nb.distance);
+  }
+  const auto& stats = engine.last_stats();
+  std::printf("device cycles: %zu (%zu per query frame)\n",
+              stats.simulated_cycles, stats.cycles_per_query);
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  apss_cli pcre '<pattern>' '<text>'\n"
+               "  apss_cli anml <file.anml> '<text>'\n"
+               "  apss_cli knn <dims> <n> <k> [seed]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc >= 4 && std::strcmp(argv[1], "pcre") == 0) {
+      return run_pcre(argv[2], argv[3]);
+    }
+    if (argc >= 4 && std::strcmp(argv[1], "anml") == 0) {
+      return run_anml(argv[2], argv[3]);
+    }
+    if (argc >= 5 && std::strcmp(argv[1], "knn") == 0) {
+      const auto dims = static_cast<std::size_t>(std::stoul(argv[2]));
+      const auto n = static_cast<std::size_t>(std::stoul(argv[3]));
+      const auto k = static_cast<std::size_t>(std::stoul(argv[4]));
+      const std::uint64_t seed = argc > 5 ? std::stoull(argv[5]) : 1;
+      return run_knn(dims, n, k, seed);
+    }
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}

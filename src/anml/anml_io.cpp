@@ -1,0 +1,411 @@
+#include "anml/anml_io.hpp"
+
+#include <cctype>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace apss::anml {
+
+namespace {
+
+std::string xml_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string xml_unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '&') {
+      out += s[i];
+      continue;
+    }
+    const auto semi = s.find(';', i);
+    if (semi == std::string::npos) {
+      throw std::runtime_error("ANML: unterminated XML entity");
+    }
+    const std::string entity = s.substr(i + 1, semi - i - 1);
+    if (entity == "amp") out += '&';
+    else if (entity == "lt") out += '<';
+    else if (entity == "gt") out += '>';
+    else if (entity == "quot") out += '"';
+    else throw std::runtime_error("ANML: unknown XML entity &" + entity + ";");
+    i = semi;
+  }
+  return out;
+}
+
+const char* start_kind_name(StartKind k) {
+  switch (k) {
+    case StartKind::kNone: return "none";
+    case StartKind::kAllInput: return "all-input";
+    case StartKind::kStartOfData: return "start-of-data";
+  }
+  return "none";
+}
+
+const char* mode_name(CounterMode m) {
+  return m == CounterMode::kPulse ? "pulse" : "latch";
+}
+
+const char* gate_name(BooleanOp op) {
+  switch (op) {
+    case BooleanOp::kAnd: return "and";
+    case BooleanOp::kOr: return "or";
+    case BooleanOp::kNot: return "not";
+    case BooleanOp::kNand: return "nand";
+    case BooleanOp::kNor: return "nor";
+    case BooleanOp::kXor: return "xor";
+    case BooleanOp::kXnor: return "xnor";
+  }
+  return "or";
+}
+
+const char* port_name(CounterPort p) {
+  switch (p) {
+    case CounterPort::kCountEnable: return "cnt";
+    case CounterPort::kReset: return "rst";
+    case CounterPort::kThreshold: return "thr";
+  }
+  return "cnt";
+}
+
+// ---------------------------------------------------------------------------
+// A tiny forgiving XML tokenizer: enough for the ANML subset we emit.
+// ---------------------------------------------------------------------------
+
+struct Tag {
+  std::string name;
+  std::map<std::string, std::string> attrs;
+  bool closing = false;      // </name>
+  bool self_closing = false; // <name ... />
+};
+
+class XmlScanner {
+ public:
+  explicit XmlScanner(const std::string& text) : text_(text) {}
+
+  /// Returns false at end of input.
+  bool next(Tag& tag) {
+    // Find next '<', skipping text content.
+    while (pos_ < text_.size() && text_[pos_] != '<') {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    // Comments and processing instructions.
+    if (text_.compare(pos_, 4, "<!--") == 0) {
+      const auto end = text_.find("-->", pos_);
+      if (end == std::string::npos) {
+        throw std::runtime_error("ANML: unterminated comment");
+      }
+      pos_ = end + 3;
+      return next(tag);
+    }
+    if (text_.compare(pos_, 2, "<?") == 0) {
+      const auto end = text_.find("?>", pos_);
+      if (end == std::string::npos) {
+        throw std::runtime_error("ANML: unterminated processing instruction");
+      }
+      pos_ = end + 2;
+      return next(tag);
+    }
+
+    const auto end = text_.find('>', pos_);
+    if (end == std::string::npos) {
+      throw std::runtime_error("ANML: unterminated tag");
+    }
+    std::string body = text_.substr(pos_ + 1, end - pos_ - 1);
+    pos_ = end + 1;
+
+    tag = Tag{};
+    if (!body.empty() && body.front() == '/') {
+      tag.closing = true;
+      body.erase(body.begin());
+    }
+    if (!body.empty() && body.back() == '/') {
+      tag.self_closing = true;
+      body.pop_back();
+    }
+
+    std::size_t i = 0;
+    const auto skip_ws = [&] {
+      while (i < body.size() && std::isspace(static_cast<unsigned char>(body[i]))) ++i;
+    };
+    skip_ws();
+    const std::size_t name_begin = i;
+    while (i < body.size() && !std::isspace(static_cast<unsigned char>(body[i]))) ++i;
+    tag.name = body.substr(name_begin, i - name_begin);
+    if (tag.name.empty()) {
+      throw std::runtime_error("ANML: empty tag name");
+    }
+
+    // Attributes: key="value"
+    for (;;) {
+      skip_ws();
+      if (i >= body.size()) {
+        break;
+      }
+      const std::size_t key_begin = i;
+      while (i < body.size() && body[i] != '=' &&
+             !std::isspace(static_cast<unsigned char>(body[i]))) {
+        ++i;
+      }
+      const std::string key = body.substr(key_begin, i - key_begin);
+      skip_ws();
+      if (i >= body.size() || body[i] != '=') {
+        throw std::runtime_error("ANML: attribute '" + key + "' missing '='");
+      }
+      ++i;
+      skip_ws();
+      if (i >= body.size() || body[i] != '"') {
+        throw std::runtime_error("ANML: attribute '" + key + "' missing quote");
+      }
+      ++i;
+      const std::size_t val_begin = i;
+      while (i < body.size() && body[i] != '"') ++i;
+      if (i >= body.size()) {
+        throw std::runtime_error("ANML: unterminated attribute value");
+      }
+      tag.attrs[key] = xml_unescape(body.substr(val_begin, i - val_begin));
+      ++i;
+    }
+    return true;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::string require_attr(const Tag& tag, const std::string& key) {
+  const auto it = tag.attrs.find(key);
+  if (it == tag.attrs.end()) {
+    throw std::runtime_error("ANML: <" + tag.name + "> missing attribute '" +
+                             key + "'");
+  }
+  return it->second;
+}
+
+std::string attr_or(const Tag& tag, const std::string& key,
+                    const std::string& fallback) {
+  const auto it = tag.attrs.find(key);
+  return it == tag.attrs.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+void write_anml(std::ostream& os, const AutomataNetwork& network) {
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  os << "<automata-network name=\"" << xml_escape(network.name()) << "\">\n";
+
+  // Group out-edges and report settings under their source element.
+  const auto& elements = network.elements();
+  std::vector<std::vector<Edge>> out(elements.size());
+  for (const Edge& e : network.edges()) {
+    out[e.from].push_back(e);
+  }
+
+  const auto write_children = [&os](const std::vector<Edge>& edges,
+                                    const Element& e) {
+    if (e.reporting) {
+      os << "    <report-on-match reportcode=\"" << e.report_code << "\"/>\n";
+    }
+    for (const Edge& edge : edges) {
+      os << "    <activate-on-match element=\"" << edge.to << "\"";
+      if (edge.port != CounterPort::kCountEnable) {
+        os << " port=\"" << port_name(edge.port) << "\"";
+      }
+      os << "/>\n";
+    }
+  };
+
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    const Element& e = elements[i];
+    switch (e.kind) {
+      case ElementKind::kSte:
+        os << "  <state-transition-element id=\"" << i << "\" symbol-set=\""
+           << xml_escape(e.symbols.to_pattern()) << "\" start=\""
+           << start_kind_name(e.start) << "\"";
+        if (!e.name.empty()) {
+          os << " name=\"" << xml_escape(e.name) << "\"";
+        }
+        os << ">\n";
+        write_children(out[i], e);
+        os << "  </state-transition-element>\n";
+        break;
+      case ElementKind::kCounter:
+        os << "  <counter id=\"" << i << "\" target=\"" << e.threshold
+           << "\" mode=\"" << mode_name(e.mode) << "\"";
+        if (!e.name.empty()) {
+          os << " name=\"" << xml_escape(e.name) << "\"";
+        }
+        os << ">\n";
+        write_children(out[i], e);
+        os << "  </counter>\n";
+        break;
+      case ElementKind::kBoolean:
+        os << "  <boolean id=\"" << i << "\" gate=\"" << gate_name(e.op)
+           << "\"";
+        if (!e.name.empty()) {
+          os << " name=\"" << xml_escape(e.name) << "\"";
+        }
+        os << ">\n";
+        write_children(out[i], e);
+        os << "  </boolean>\n";
+        break;
+    }
+  }
+  os << "</automata-network>\n";
+}
+
+std::string to_anml(const AutomataNetwork& network) {
+  std::ostringstream oss;
+  write_anml(oss, network);
+  return oss.str();
+}
+
+AutomataNetwork from_anml(const std::string& xml) {
+  XmlScanner scanner(xml);
+  Tag tag;
+
+  if (!scanner.next(tag) || tag.name != "automata-network") {
+    throw std::runtime_error("ANML: expected <automata-network> root");
+  }
+  AutomataNetwork network(attr_or(tag, "name", ""));
+
+  // The writer emits elements with contiguous ids in order, but accept any
+  // ids and remap at the end.
+  struct PendingEdge {
+    std::string from_id;
+    std::string to_id;
+    CounterPort port;
+  };
+  struct PendingReport {
+    std::string owner_id;
+    std::uint32_t code;
+  };
+  std::map<std::string, ElementId> id_map;
+  std::vector<PendingEdge> pending_edges;
+  std::vector<PendingReport> pending_reports;
+  std::string current_id;  // element currently open, "" at top level
+
+  const auto parse_u32 = [](const std::string& s, const char* what) {
+    try {
+      const unsigned long v = std::stoul(s);
+      return static_cast<std::uint32_t>(v);
+    } catch (const std::exception&) {
+      throw std::runtime_error(std::string("ANML: bad number for ") + what +
+                               ": '" + s + "'");
+    }
+  };
+
+  while (scanner.next(tag)) {
+    if (tag.closing) {
+      if (tag.name == "automata-network") {
+        break;
+      }
+      current_id.clear();
+      continue;
+    }
+
+    if (tag.name == "state-transition-element") {
+      const std::string id = require_attr(tag, "id");
+      const std::string start_str = attr_or(tag, "start", "none");
+      StartKind start = StartKind::kNone;
+      if (start_str == "all-input") start = StartKind::kAllInput;
+      else if (start_str == "start-of-data") start = StartKind::kStartOfData;
+      else if (start_str != "none") {
+        throw std::runtime_error("ANML: unknown start kind '" + start_str + "'");
+      }
+      const ElementId eid =
+          network.add_ste(SymbolSet::parse(require_attr(tag, "symbol-set")),
+                          start, attr_or(tag, "name", ""));
+      id_map[id] = eid;
+      if (!tag.self_closing) {
+        current_id = id;
+      }
+    } else if (tag.name == "counter") {
+      const std::string id = require_attr(tag, "id");
+      const std::string mode_str = attr_or(tag, "mode", "pulse");
+      CounterMode mode = CounterMode::kPulse;
+      if (mode_str == "latch") mode = CounterMode::kLatch;
+      else if (mode_str != "pulse") {
+        throw std::runtime_error("ANML: unknown counter mode '" + mode_str + "'");
+      }
+      const ElementId eid =
+          network.add_counter(parse_u32(require_attr(tag, "target"), "target"),
+                              mode, attr_or(tag, "name", ""));
+      id_map[id] = eid;
+      if (!tag.self_closing) {
+        current_id = id;
+      }
+    } else if (tag.name == "boolean") {
+      const std::string id = require_attr(tag, "id");
+      const std::string gate = require_attr(tag, "gate");
+      BooleanOp op;
+      if (gate == "and") op = BooleanOp::kAnd;
+      else if (gate == "or") op = BooleanOp::kOr;
+      else if (gate == "not") op = BooleanOp::kNot;
+      else if (gate == "nand") op = BooleanOp::kNand;
+      else if (gate == "nor") op = BooleanOp::kNor;
+      else if (gate == "xor") op = BooleanOp::kXor;
+      else if (gate == "xnor") op = BooleanOp::kXnor;
+      else throw std::runtime_error("ANML: unknown gate '" + gate + "'");
+      const ElementId eid = network.add_boolean(op, attr_or(tag, "name", ""));
+      id_map[id] = eid;
+      if (!tag.self_closing) {
+        current_id = id;
+      }
+    } else if (tag.name == "activate-on-match") {
+      if (current_id.empty()) {
+        throw std::runtime_error("ANML: <activate-on-match> outside element");
+      }
+      const std::string port_str = attr_or(tag, "port", "cnt");
+      CounterPort port;
+      if (port_str == "cnt") port = CounterPort::kCountEnable;
+      else if (port_str == "rst") port = CounterPort::kReset;
+      else if (port_str == "thr") port = CounterPort::kThreshold;
+      else throw std::runtime_error("ANML: unknown port '" + port_str + "'");
+      pending_edges.push_back(
+          {current_id, require_attr(tag, "element"), port});
+    } else if (tag.name == "report-on-match") {
+      if (current_id.empty()) {
+        throw std::runtime_error("ANML: <report-on-match> outside element");
+      }
+      pending_reports.push_back(
+          {current_id, parse_u32(require_attr(tag, "reportcode"), "reportcode")});
+    } else {
+      throw std::runtime_error("ANML: unexpected tag <" + tag.name + ">");
+    }
+  }
+
+  for (const auto& report : pending_reports) {
+    network.set_reporting(id_map.at(report.owner_id), report.code);
+  }
+  for (const auto& edge : pending_edges) {
+    const auto from = id_map.find(edge.from_id);
+    const auto to = id_map.find(edge.to_id);
+    if (from == id_map.end() || to == id_map.end()) {
+      throw std::runtime_error("ANML: edge references unknown element id");
+    }
+    network.connect(from->second, to->second, edge.port);
+  }
+  return network;
+}
+
+}  // namespace apss::anml

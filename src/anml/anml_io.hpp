@@ -1,0 +1,34 @@
+#pragma once
+// ANML (Automata Network Markup Language) subset writer / parser.
+//
+// The AP toolchain consumes XML automata descriptions; this module provides
+// a faithful subset so APSS designs can be exported for inspection (and for
+// interoperability with other automata tools such as VASim) and re-imported.
+//
+// Supported elements:
+//   <automata-network name="...">
+//     <state-transition-element id="..." symbol-set="..."
+//         start="none|all-input|start-of-data">
+//       <report-on-match reportcode="..."/>
+//       <activate-on-match element="target-id" [port="cnt|rst|thr"]/>
+//     </state-transition-element>
+//     <counter id="..." target="<threshold>" mode="pulse|latch"> ... </counter>
+//     <boolean id="..." gate="and|or|not|nand|nor|xor|xnor"> ... </boolean>
+//   </automata-network>
+
+#include <iosfwd>
+#include <string>
+
+#include "anml/network.hpp"
+
+namespace apss::anml {
+
+/// Serializes `network` as ANML XML.
+std::string to_anml(const AutomataNetwork& network);
+void write_anml(std::ostream& os, const AutomataNetwork& network);
+
+/// Parses ANML XML produced by to_anml (plus whitespace/comment tolerance).
+/// Throws std::runtime_error with a line-oriented message on malformed input.
+AutomataNetwork from_anml(const std::string& xml);
+
+}  // namespace apss::anml

@@ -1,0 +1,77 @@
+#pragma once
+// Element model of the AP fabric (Dlugosch et al., IEEE TPDS'14):
+// state transition elements (STEs), threshold counters, and boolean gates.
+
+#include <cstdint>
+#include <string>
+
+#include "anml/symbol_set.hpp"
+
+namespace apss::anml {
+
+/// Dense element handle within one AutomataNetwork.
+using ElementId = std::uint32_t;
+inline constexpr ElementId kInvalidElement = ~ElementId{0};
+
+enum class ElementKind : std::uint8_t { kSte, kCounter, kBoolean };
+
+/// Start behaviour of an STE (non-start STEs need an active predecessor).
+enum class StartKind : std::uint8_t {
+  kNone,         ///< enabled only by predecessors
+  kAllInput,     ///< enabled on every cycle (PCRE "unanchored" start)
+  kStartOfData,  ///< enabled only on the first cycle of the stream
+};
+
+/// Counter output behaviour when the threshold is reached.
+enum class CounterMode : std::uint8_t {
+  kPulse,  ///< one-cycle pulse on the crossing (the paper's sort counters)
+  kLatch,  ///< asserted from the crossing until reset
+};
+
+/// Counter input ports (distinct terminals on the hardware element).
+enum class CounterPort : std::uint8_t {
+  kCountEnable,  ///< increment-by-one when any connected signal is active
+  kReset,        ///< zero the internal count
+  kThreshold,    ///< ARCH EXTENSION (Sec. VII-B): dynamic threshold source
+};
+
+/// Two-input-equivalent boolean gates available in each AP block.
+enum class BooleanOp : std::uint8_t { kAnd, kOr, kNot, kNand, kNor, kXor, kXnor };
+
+/// One fabric element. Which fields apply depends on `kind`:
+///   kSte:     symbols, start, reporting/report_code
+///   kCounter: threshold, mode, reporting/report_code
+///   kBoolean: op, reporting/report_code
+struct Element {
+  ElementKind kind = ElementKind::kSte;
+  std::string name;  ///< optional; used in ANML export and traces
+
+  // --- STE fields ---
+  SymbolSet symbols;
+  StartKind start = StartKind::kNone;
+
+  // --- Counter fields ---
+  std::uint32_t threshold = 1;
+  CounterMode mode = CounterMode::kPulse;
+
+  // --- Boolean fields ---
+  BooleanOp op = BooleanOp::kOr;
+
+  // --- Reporting ---
+  bool reporting = false;
+  /// Application-defined code carried in report events (the paper uses this
+  /// to map a reporting state back to its dataset vector).
+  std::uint32_t report_code = 0;
+};
+
+/// A directed connection. For counters, `port` selects the input terminal;
+/// for STEs/booleans it must be kCountEnable (the default data input).
+struct Edge {
+  ElementId from = kInvalidElement;
+  ElementId to = kInvalidElement;
+  CounterPort port = CounterPort::kCountEnable;
+
+  bool operator==(const Edge&) const = default;
+};
+
+}  // namespace apss::anml

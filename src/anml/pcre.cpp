@@ -1,0 +1,310 @@
+#include "anml/pcre.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "anml/symbol_set.hpp"
+
+namespace apss::anml {
+
+namespace {
+
+// --- AST --------------------------------------------------------------------
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+enum class NodeKind { kSymbol, kConcat, kAlternate, kStar, kPlus, kOptional };
+
+struct Node {
+  NodeKind kind;
+  SymbolSet symbols;       // kSymbol
+  std::int32_t position = -1;  // kSymbol: Glushkov position index
+  NodePtr left;            // kConcat/kAlternate: lhs; quantifiers: child
+  NodePtr right;           // kConcat/kAlternate: rhs
+};
+
+NodePtr make_symbol(SymbolSet s) {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kSymbol;
+  n->symbols = s;
+  return n;
+}
+
+NodePtr make_binary(NodeKind kind, NodePtr l, NodePtr r) {
+  auto n = std::make_unique<Node>();
+  n->kind = kind;
+  n->left = std::move(l);
+  n->right = std::move(r);
+  return n;
+}
+
+NodePtr make_unary(NodeKind kind, NodePtr child) {
+  auto n = std::make_unique<Node>();
+  n->kind = kind;
+  n->left = std::move(child);
+  return n;
+}
+
+// --- Parser (recursive descent) ----------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(const std::string& pattern) : text_(pattern) {}
+
+  NodePtr parse() {
+    NodePtr root = alternation();
+    if (pos_ != text_.size()) {
+      fail("unexpected character");
+    }
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("pcre: " + what + " at offset " +
+                                std::to_string(pos_) + " in '" + text_ + "'");
+  }
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  NodePtr alternation() {
+    NodePtr node = concatenation();
+    while (!eof() && peek() == '|') {
+      ++pos_;
+      node = make_binary(NodeKind::kAlternate, std::move(node),
+                         concatenation());
+    }
+    return node;
+  }
+
+  NodePtr concatenation() {
+    NodePtr node = repeat();
+    while (!eof() && peek() != '|' && peek() != ')') {
+      node = make_binary(NodeKind::kConcat, std::move(node), repeat());
+    }
+    return node;
+  }
+
+  NodePtr repeat() {
+    NodePtr node = atom();
+    while (!eof()) {
+      const char c = peek();
+      if (c == '*') {
+        node = make_unary(NodeKind::kStar, std::move(node));
+      } else if (c == '+') {
+        node = make_unary(NodeKind::kPlus, std::move(node));
+      } else if (c == '?') {
+        node = make_unary(NodeKind::kOptional, std::move(node));
+      } else {
+        break;
+      }
+      ++pos_;
+    }
+    return node;
+  }
+
+  NodePtr atom() {
+    if (eof()) {
+      fail("expected an atom");
+    }
+    const char c = peek();
+    if (c == '(') {
+      ++pos_;
+      NodePtr inner = alternation();
+      if (eof() || peek() != ')') {
+        fail("unterminated group");
+      }
+      ++pos_;
+      return inner;
+    }
+    if (c == '[') {
+      const std::size_t start = pos_;
+      std::size_t depth_end = text_.find(']', start + 1);
+      // allow an escaped ']' inside the class
+      while (depth_end != std::string::npos && text_[depth_end - 1] == '\\') {
+        depth_end = text_.find(']', depth_end + 1);
+      }
+      if (depth_end == std::string::npos) {
+        fail("unterminated class");
+      }
+      const std::string cls = text_.substr(start, depth_end - start + 1);
+      pos_ = depth_end + 1;
+      return make_symbol(SymbolSet::parse(cls));
+    }
+    if (c == '.') {
+      ++pos_;
+      return make_symbol(SymbolSet::all());
+    }
+    if (c == '\\') {
+      if (pos_ + 1 >= text_.size()) {
+        fail("dangling backslash");
+      }
+      const char kind = text_[pos_ + 1];
+      if (kind == 'x') {
+        if (pos_ + 3 >= text_.size()) {
+          fail("truncated \\xNN escape");
+        }
+        const std::string esc = text_.substr(pos_, 4);
+        pos_ += 4;
+        return make_symbol(SymbolSet::parse(esc));
+      }
+      pos_ += 2;
+      return make_symbol(SymbolSet::single(static_cast<std::uint8_t>(kind)));
+    }
+    if (c == '*' || c == '+' || c == '?' || c == '|' || c == ')') {
+      fail("misplaced metacharacter");
+    }
+    ++pos_;
+    return make_symbol(SymbolSet::single(static_cast<std::uint8_t>(c)));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// --- Glushkov sets ------------------------------------------------------------
+
+struct Glushkov {
+  std::vector<SymbolSet> position_symbols;
+  std::vector<std::vector<std::int32_t>> follow;
+
+  struct Sets {
+    bool nullable = false;
+    std::vector<std::int32_t> first;
+    std::vector<std::int32_t> last;
+  };
+
+  /// Assigns positions to symbol leaves and computes first/last/follow.
+  Sets analyze(Node& node) {
+    switch (node.kind) {
+      case NodeKind::kSymbol: {
+        node.position = static_cast<std::int32_t>(position_symbols.size());
+        position_symbols.push_back(node.symbols);
+        follow.emplace_back();
+        return {false, {node.position}, {node.position}};
+      }
+      case NodeKind::kConcat: {
+        Sets l = analyze(*node.left);
+        Sets r = analyze(*node.right);
+        for (const std::int32_t p : l.last) {
+          for (const std::int32_t q : r.first) {
+            follow[p].push_back(q);
+          }
+        }
+        Sets out;
+        out.nullable = l.nullable && r.nullable;
+        out.first = l.first;
+        if (l.nullable) {
+          out.first.insert(out.first.end(), r.first.begin(), r.first.end());
+        }
+        out.last = r.last;
+        if (r.nullable) {
+          out.last.insert(out.last.end(), l.last.begin(), l.last.end());
+        }
+        return out;
+      }
+      case NodeKind::kAlternate: {
+        Sets l = analyze(*node.left);
+        Sets r = analyze(*node.right);
+        Sets out;
+        out.nullable = l.nullable || r.nullable;
+        out.first = l.first;
+        out.first.insert(out.first.end(), r.first.begin(), r.first.end());
+        out.last = l.last;
+        out.last.insert(out.last.end(), r.last.begin(), r.last.end());
+        return out;
+      }
+      case NodeKind::kStar:
+      case NodeKind::kPlus:
+      case NodeKind::kOptional: {
+        Sets inner = analyze(*node.left);
+        if (node.kind != NodeKind::kOptional) {
+          // Loop back: last -> first.
+          for (const std::int32_t p : inner.last) {
+            for (const std::int32_t q : inner.first) {
+              follow[p].push_back(q);
+            }
+          }
+        }
+        Sets out = inner;
+        out.nullable =
+            node.kind == NodeKind::kPlus ? inner.nullable : true;
+        return out;
+      }
+    }
+    throw std::logic_error("pcre: unreachable node kind");
+  }
+};
+
+}  // namespace
+
+PcreCompileResult compile_pcre(AutomataNetwork& network,
+                               const std::string& pattern,
+                               std::uint32_t report_code) {
+  if (pattern.empty()) {
+    throw std::invalid_argument("pcre: empty pattern");
+  }
+  std::string body = pattern;
+  bool anchored = false;
+  if (body.front() == '^') {
+    anchored = true;
+    body.erase(body.begin());
+    if (body.empty()) {
+      throw std::invalid_argument("pcre: anchor without expression");
+    }
+  }
+
+  Parser parser(body);
+  NodePtr root = parser.parse();
+  Glushkov g;
+  const Glushkov::Sets sets = g.analyze(*root);
+  if (sets.nullable) {
+    throw std::invalid_argument(
+        "pcre: expression accepts the empty string, which automata "
+        "hardware cannot report");
+  }
+
+  // Emit one STE per position.
+  std::vector<std::uint8_t> is_first(g.position_symbols.size(), 0);
+  for (const std::int32_t p : sets.first) {
+    is_first[p] = 1;
+  }
+  std::vector<std::uint8_t> is_last(g.position_symbols.size(), 0);
+  for (const std::int32_t p : sets.last) {
+    is_last[p] = 1;
+  }
+
+  PcreCompileResult result;
+  result.position_count = g.position_symbols.size();
+  std::vector<ElementId> ids(g.position_symbols.size());
+  for (std::size_t p = 0; p < g.position_symbols.size(); ++p) {
+    const StartKind start =
+        is_first[p] ? (anchored ? StartKind::kStartOfData
+                                : StartKind::kAllInput)
+                    : StartKind::kNone;
+    ids[p] = network.add_ste(g.position_symbols[p], start,
+                             "pcre" + std::to_string(report_code) + "_p" +
+                                 std::to_string(p));
+    if (is_first[p]) {
+      result.start_states.push_back(ids[p]);
+    }
+    if (is_last[p]) {
+      network.set_reporting(ids[p], report_code);
+      result.reporting_states.push_back(ids[p]);
+    }
+  }
+  for (std::size_t p = 0; p < g.follow.size(); ++p) {
+    // Deduplicate follow targets (kStar can insert repeats).
+    std::vector<std::int32_t> targets = g.follow[p];
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+    for (const std::int32_t q : targets) {
+      network.connect(ids[p], ids[q]);
+    }
+  }
+  return result;
+}
+
+}  // namespace apss::anml

@@ -1,0 +1,40 @@
+#pragma once
+// PCRE -> NFA compilation (Sec. II-B: "Applications can either be compiled
+// to NFAs by supplying a Perl Compatible Regular Expression...").
+//
+// The supported subset is the homogeneous-automata-friendly core:
+//   literals, \xNN and escaped metacharacter escapes, '.', character
+//   classes [...] / [^...], grouping (...), alternation '|', and the
+//   quantifiers * + ?. A leading '^' anchors the expression to the start
+//   of data; unanchored expressions match at every offset (all-input
+//   start states), which is the AP's native behaviour.
+//
+// Compilation uses the Glushkov construction: one STE per symbol position
+// (exactly the AP's one-symbol-per-state execution model), edges from the
+// follow relation, start states from the first set, and reporting states
+// from the last set. The expression must not accept the empty string
+// (reporting "a match of nothing" is not expressible on the fabric).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "anml/network.hpp"
+
+namespace apss::anml {
+
+struct PcreCompileResult {
+  std::vector<ElementId> start_states;
+  std::vector<ElementId> reporting_states;
+  std::size_t position_count = 0;  ///< STEs emitted (Glushkov positions)
+};
+
+/// Appends the NFA for `pattern` to `network`; matches report with
+/// `report_code` at the cycle of their LAST symbol. Throws
+/// std::invalid_argument on syntax errors or empty-string-accepting
+/// patterns.
+PcreCompileResult compile_pcre(AutomataNetwork& network,
+                               const std::string& pattern,
+                               std::uint32_t report_code);
+
+}  // namespace apss::anml

@@ -1,0 +1,268 @@
+#include "anml/symbol_set.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace apss::anml {
+
+namespace {
+
+/// Parses one symbol token inside a class or as a standalone pattern.
+/// Supports printable characters and \xNN escapes. Advances `i`.
+std::uint8_t parse_symbol_token(const std::string& pattern, std::size_t& i) {
+  if (pattern[i] == '\\') {
+    if (i + 1 >= pattern.size()) {
+      throw std::invalid_argument("SymbolSet: dangling backslash");
+    }
+    const char kind = pattern[i + 1];
+    if (kind == 'x') {
+      if (i + 3 >= pattern.size()) {
+        throw std::invalid_argument("SymbolSet: truncated \\xNN escape");
+      }
+      const auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        throw std::invalid_argument("SymbolSet: bad hex digit");
+      };
+      const int value = hex(pattern[i + 2]) * 16 + hex(pattern[i + 3]);
+      i += 4;
+      return static_cast<std::uint8_t>(value);
+    }
+    // Escaped literal (e.g. \\, \], \[, \-, \*).
+    i += 2;
+    return static_cast<std::uint8_t>(kind);
+  }
+  return static_cast<std::uint8_t>(pattern[i++]);
+}
+
+SymbolSet parse_bit_pattern(const std::string& pattern) {
+  // "0b" followed by exactly 8 of {0,1,*}, most significant bit first.
+  const std::string body = pattern.substr(2);
+  if (body.size() != 8) {
+    throw std::invalid_argument(
+        "SymbolSet: bit pattern must have exactly 8 positions");
+  }
+  std::uint8_t value = 0;
+  std::uint8_t mask = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const char c = body[i];
+    const int bit = 7 - static_cast<int>(i);
+    if (c == '0' || c == '1') {
+      mask = static_cast<std::uint8_t>(mask | (1u << bit));
+      if (c == '1') {
+        value = static_cast<std::uint8_t>(value | (1u << bit));
+      }
+    } else if (c != '*') {
+      throw std::invalid_argument("SymbolSet: bit pattern chars must be 0/1/*");
+    }
+  }
+  return SymbolSet::ternary(value, mask);
+}
+
+}  // namespace
+
+SymbolSet SymbolSet::all() noexcept {
+  SymbolSet s;
+  s.words_.fill(~std::uint64_t{0});
+  return s;
+}
+
+SymbolSet SymbolSet::single(std::uint8_t symbol) noexcept {
+  SymbolSet s;
+  s.insert(symbol);
+  return s;
+}
+
+SymbolSet SymbolSet::all_except(std::uint8_t symbol) noexcept {
+  SymbolSet s = all();
+  s.erase(symbol);
+  return s;
+}
+
+SymbolSet SymbolSet::ternary(std::uint8_t value, std::uint8_t mask) noexcept {
+  SymbolSet s;
+  for (int sym = 0; sym < 256; ++sym) {
+    if ((static_cast<std::uint8_t>(sym) & mask) ==
+        (value & mask)) {
+      s.insert(static_cast<std::uint8_t>(sym));
+    }
+  }
+  return s;
+}
+
+SymbolSet SymbolSet::parse(const std::string& pattern) {
+  if (pattern.empty()) {
+    throw std::invalid_argument("SymbolSet: empty pattern");
+  }
+  if (pattern == "*") {
+    return all();
+  }
+  if (pattern.size() > 2 && pattern[0] == '0' && pattern[1] == 'b') {
+    return parse_bit_pattern(pattern);
+  }
+  if (pattern.front() == '[') {
+    if (pattern.back() != ']' || pattern.size() < 3) {
+      throw std::invalid_argument("SymbolSet: unterminated class");
+    }
+    std::size_t i = 1;
+    bool negate = false;
+    if (pattern[i] == '^') {
+      negate = true;
+      ++i;
+    }
+    SymbolSet s;
+    const std::size_t end = pattern.size() - 1;
+    while (i < end) {
+      const std::uint8_t lo = parse_symbol_token(pattern, i);
+      if (i + 1 < end && pattern[i] == '-') {
+        ++i;  // consume '-'
+        const std::uint8_t hi = parse_symbol_token(pattern, i);
+        if (hi < lo) {
+          throw std::invalid_argument("SymbolSet: inverted range");
+        }
+        for (int sym = lo; sym <= hi; ++sym) {
+          s.insert(static_cast<std::uint8_t>(sym));
+        }
+      } else {
+        s.insert(lo);
+      }
+    }
+    return negate ? ~s : s;
+  }
+  // Standalone single symbol (possibly escaped).
+  std::size_t i = 0;
+  const std::uint8_t sym = parse_symbol_token(pattern, i);
+  if (i != pattern.size()) {
+    throw std::invalid_argument(
+        "SymbolSet: multi-symbol pattern needs [...] class syntax");
+  }
+  return single(sym);
+}
+
+int SymbolSet::count() const noexcept {
+  int total = 0;
+  for (const std::uint64_t w : words_) {
+    total += std::popcount(w);
+  }
+  return total;
+}
+
+bool SymbolSet::empty() const noexcept {
+  return (words_[0] | words_[1] | words_[2] | words_[3]) == 0;
+}
+
+bool SymbolSet::is_all() const noexcept {
+  return (words_[0] & words_[1] & words_[2] & words_[3]) == ~std::uint64_t{0};
+}
+
+SymbolSet SymbolSet::operator|(const SymbolSet& o) const noexcept {
+  SymbolSet s;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    s.words_[i] = words_[i] | o.words_[i];
+  }
+  return s;
+}
+
+SymbolSet SymbolSet::operator&(const SymbolSet& o) const noexcept {
+  SymbolSet s;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    s.words_[i] = words_[i] & o.words_[i];
+  }
+  return s;
+}
+
+SymbolSet SymbolSet::operator~() const noexcept {
+  SymbolSet s;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    s.words_[i] = ~words_[i];
+  }
+  return s;
+}
+
+std::string SymbolSet::to_pattern() const {
+  if (is_all()) {
+    return "*";
+  }
+  const int n = count();
+  if (n == 0) {
+    return "[]";
+  }
+  const auto hex_escape = [](int sym) {
+    static const char kDigits[] = "0123456789abcdef";
+    std::string out = "\\x";
+    out += kDigits[(sym >> 4) & 0xf];
+    out += kDigits[sym & 0xf];
+    return out;
+  };
+  if (n == 1) {
+    for (int sym = 0; sym < 256; ++sym) {
+      if (test(static_cast<std::uint8_t>(sym))) {
+        return hex_escape(sym);
+      }
+    }
+  }
+  // Render as a class with ranges.
+  std::string out = "[";
+  int sym = 0;
+  while (sym < 256) {
+    if (!test(static_cast<std::uint8_t>(sym))) {
+      ++sym;
+      continue;
+    }
+    int run_end = sym;
+    while (run_end + 1 < 256 && test(static_cast<std::uint8_t>(run_end + 1))) {
+      ++run_end;
+    }
+    out += hex_escape(sym);
+    if (run_end > sym + 1) {
+      out += '-';
+      out += hex_escape(run_end);
+    } else if (run_end == sym + 1) {
+      out += hex_escape(run_end);
+    }
+    sym = run_end + 1;
+  }
+  out += ']';
+  return out;
+}
+
+int SymbolSet::required_bits(const SymbolSet& alphabet) const noexcept {
+  // Find the smallest subset of symbol bit positions that separates the
+  // accepted from the rejected symbols of the alphabet. Exhaustive over all
+  // 256 bit-position masks: for mask m, the function is realizable iff no
+  // two alphabet symbols that agree on m disagree on membership.
+  const auto realizable = [&](std::uint8_t mask) {
+    // bucket: -1 unknown, 0 rejected, 1 accepted, per masked value.
+    std::array<signed char, 256> bucket;
+    bucket.fill(-1);
+    for (int sym = 0; sym < 256; ++sym) {
+      const auto s = static_cast<std::uint8_t>(sym);
+      if (!alphabet.test(s)) {
+        continue;
+      }
+      const std::uint8_t key = static_cast<std::uint8_t>(s & mask);
+      const signed char member = test(s) ? 1 : 0;
+      if (bucket[key] == -1) {
+        bucket[key] = member;
+      } else if (bucket[key] != member) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  int best = 8;
+  for (int mask = 0; mask < 256; ++mask) {
+    const int bits = std::popcount(static_cast<unsigned>(mask));
+    if (bits >= best) {
+      continue;
+    }
+    if (realizable(static_cast<std::uint8_t>(mask))) {
+      best = bits;
+    }
+  }
+  return best;
+}
+
+}  // namespace apss::anml

@@ -1,0 +1,78 @@
+#pragma once
+// Symbol classes for state transition elements (STEs).
+//
+// Every STE in an automata network matches a *set* of 8-bit symbols. The AP
+// programming model expresses these as PCRE character classes; this module
+// stores them as a 256-bit set and offers the class syntaxes the paper's
+// designs need:
+//   "*"            match-all (the paper's filler/bridge/report states)
+//   "a", "\\x41"   single symbols
+//   "[abc]", "[a-z]", "[^x]"  character classes with ranges and negation
+//   "0b**1*01*1"   ternary bit patterns, as used by symbol-stream
+//                  multiplexing (Sec. VI-B) to match one bit slice
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace apss::anml {
+
+class SymbolSet {
+ public:
+  /// Empty set (matches nothing).
+  constexpr SymbolSet() noexcept : words_{} {}
+
+  /// Set containing every symbol (PCRE "*").
+  static SymbolSet all() noexcept;
+
+  /// Set containing exactly `symbol`.
+  static SymbolSet single(std::uint8_t symbol) noexcept;
+
+  /// Set containing every symbol EXCEPT `symbol` (e.g. the paper's ^EOF).
+  static SymbolSet all_except(std::uint8_t symbol) noexcept;
+
+  /// Symbols matching (sym & mask) == (value & mask): a ternary match.
+  /// E.g. mask=0x01, value=0x01 is the paper's 0b*******1.
+  static SymbolSet ternary(std::uint8_t value, std::uint8_t mask) noexcept;
+
+  /// Parses the pattern syntaxes documented above. Throws
+  /// std::invalid_argument on malformed input.
+  static SymbolSet parse(const std::string& pattern);
+
+  bool test(std::uint8_t symbol) const noexcept {
+    return (words_[symbol >> 6] >> (symbol & 63)) & 1u;
+  }
+  void insert(std::uint8_t symbol) noexcept {
+    words_[symbol >> 6] |= std::uint64_t{1} << (symbol & 63);
+  }
+  void erase(std::uint8_t symbol) noexcept {
+    words_[symbol >> 6] &= ~(std::uint64_t{1} << (symbol & 63));
+  }
+
+  /// Number of symbols in the set.
+  int count() const noexcept;
+  bool empty() const noexcept;
+  bool is_all() const noexcept;
+
+  SymbolSet operator|(const SymbolSet& o) const noexcept;
+  SymbolSet operator&(const SymbolSet& o) const noexcept;
+  SymbolSet operator~() const noexcept;
+  bool operator==(const SymbolSet& o) const noexcept { return words_ == o.words_; }
+
+  /// Canonical pattern string: "*" for all, "\xNN" singles, "[...]" classes.
+  std::string to_pattern() const;
+
+  /// Minimal number of symbol bits a lookup table must inspect to compute
+  /// this set's membership function exactly, considering only symbols in
+  /// `alphabet` (symbols outside the alphabet are don't-cares). This is the
+  /// cost model behind the STE-decomposition extension (Sec. VII-C): a set
+  /// needing w bits fits in a 2^w-input sub-STE. Returns 0..8.
+  int required_bits(const SymbolSet& alphabet) const noexcept;
+
+  const std::array<std::uint64_t, 4>& words() const noexcept { return words_; }
+
+ private:
+  std::array<std::uint64_t, 4> words_;
+};
+
+}  // namespace apss::anml

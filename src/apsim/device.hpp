@@ -1,0 +1,94 @@
+#pragma once
+// Micron Automata Processor device model: geometry, timing, and the
+// architectural-extension feature flags evaluated in Sec. VII of the paper.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace apss::apsim {
+
+/// Physical resource hierarchy (Sec. II-B): a device has 4 ranks x 8 AP
+/// chips; each chip has 2 half cores; each half core has 96 blocks of
+/// 256 STEs; each block adds 4 counters, 12 booleans, and at most 32
+/// reporting STEs. NFAs cannot span half cores.
+struct DeviceGeometry {
+  std::size_t ranks = 4;
+  std::size_t chips_per_rank = 8;
+  std::size_t half_cores_per_chip = 2;
+  std::size_t blocks_per_half_core = 96;
+  std::size_t stes_per_block = 256;
+  std::size_t counters_per_block = 4;
+  std::size_t booleans_per_block = 12;
+  std::size_t max_reporting_per_block = 32;
+
+  std::size_t half_cores() const noexcept {
+    return ranks * chips_per_rank * half_cores_per_chip;
+  }
+  std::size_t stes_per_half_core() const noexcept {
+    return blocks_per_half_core * stes_per_block;
+  }
+  std::size_t total_blocks() const noexcept {
+    return half_cores() * blocks_per_half_core;
+  }
+  std::size_t total_stes() const noexcept {
+    return half_cores() * stes_per_half_core();
+  }
+
+  /// Single-rank board (the paper's power measurements used one rank).
+  static DeviceGeometry one_rank() {
+    DeviceGeometry g;
+    g.ranks = 1;
+    return g;
+  }
+};
+
+/// Clocking, reconfiguration, and host-link characteristics.
+struct DeviceTiming {
+  double clock_hz = 133e6;          ///< symbol rate (7.5 ns/symbol)
+  double reconfig_seconds = 45e-3;  ///< Gen 1 partial reconfiguration
+  double pcie_gbit_per_s = 63.0;    ///< PCIe Gen3 x8 usable bandwidth
+
+  double cycle_seconds() const noexcept { return 1.0 / clock_hz; }
+};
+
+/// Architectural extensions (Sec. VII). All default to stock hardware.
+struct DeviceFeatures {
+  /// Max increments one counter accepts per cycle (stock: 1; Sec. VII-A: 8).
+  std::uint32_t max_counter_increment = 1;
+  /// Counter threshold port driven by another counter (Sec. VII-B).
+  bool dynamic_threshold = false;
+  /// STE decomposition factor x (Sec. VII-C): an 8-input STE splits into x
+  /// sub-STEs of (8 - log2 x) inputs. 1 = stock.
+  std::uint32_t ste_decomposition = 1;
+};
+
+struct DeviceConfig {
+  std::string name = "AP Gen 1";
+  DeviceGeometry geometry;
+  DeviceTiming timing;
+  DeviceFeatures features;
+
+  /// Current-generation hardware as evaluated in the paper.
+  static DeviceConfig gen1() { return {}; }
+
+  /// Gen 2: ~100x faster partial reconfiguration (Sec. III-C).
+  static DeviceConfig gen2() {
+    DeviceConfig c;
+    c.name = "AP Gen 2";
+    c.timing.reconfig_seconds = 45e-3 / 100.0;
+    return c;
+  }
+
+  /// Gen 2 plus all Sec. VII extensions enabled (the AP Opt+Ext column).
+  static DeviceConfig opt_ext() {
+    DeviceConfig c = gen2();
+    c.name = "AP Opt+Ext";
+    c.features.max_counter_increment = 8;
+    c.features.dynamic_threshold = true;
+    c.features.ste_decomposition = 4;
+    return c;
+  }
+};
+
+}  // namespace apss::apsim

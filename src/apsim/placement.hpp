@@ -1,0 +1,86 @@
+#pragma once
+// Place-and-route resource model (the apadmin-compile stage of the paper).
+//
+// The paper reports resource use as "total rectangular block area" from the
+// AP compiler, and observes that vector-packed designs place but only
+// partially route (Sec. VI-A). This model reproduces both effects:
+//
+//  * CAPACITY: each connected component (one NFA) must fit inside a half
+//    core (96 blocks x 256 STEs; 4 counters / 12 booleans / 32 reporting
+//    STEs per block). Components are packed into half cores first-fit
+//    decreasing; per-half-core block area is the max of the four resource
+//    ratios, with a calibrated routing-overhead multiplier on STE area
+//    (default 1.15: placed designs consume more area than raw state count).
+//
+//  * ROUTABILITY: the reconfigurable routing matrix bounds the in/out
+//    degree of a single element. Designs exceeding max_fan_in/max_fan_out
+//    "place but fail to fully route", which is exactly the failure the
+//    paper hits when packing high-dimensional vectors with flat collector
+//    fan-in (d = 64, 128), while tree-shaped collectors route fine.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "anml/network.hpp"
+#include "apsim/device.hpp"
+
+namespace apss::apsim {
+
+struct PlacementOptions {
+  /// Hard routability limits of the routing matrix.
+  std::size_t max_fan_in = 48;
+  std::size_t max_fan_out = 48;
+  /// Placed STE area = raw STE count x this factor (routing slack, calibrated
+  /// against the paper's Sec. V-A utilization numbers).
+  double routing_overhead = 1.15;
+};
+
+struct PlacementResult {
+  bool placed = false;  ///< all components fit on the device
+  bool routed = false;  ///< no element exceeds routing-degree limits
+  std::vector<std::string> issues;
+
+  std::size_t component_count = 0;
+  std::size_t ste_count = 0;
+  std::size_t counter_count = 0;
+  std::size_t boolean_count = 0;
+  std::size_t reporting_count = 0;
+
+  std::size_t blocks_used = 0;
+  std::size_t half_cores_used = 0;
+  std::size_t max_observed_fan_in = 0;
+  std::size_t max_observed_fan_out = 0;
+
+  /// apadmin-style utilization: block area / total blocks of the geometry.
+  double block_utilization(const DeviceGeometry& g) const {
+    return g.total_blocks() == 0
+               ? 0.0
+               : static_cast<double>(blocks_used) /
+                     static_cast<double>(g.total_blocks());
+  }
+};
+
+/// Places `network` onto a device with `geometry`.
+PlacementResult place(const anml::AutomataNetwork& network,
+                      const DeviceGeometry& geometry,
+                      const PlacementOptions& options = {});
+
+/// Per-NFA resource footprint, for capacity planning without building the
+/// full n-vector network.
+struct MacroFootprint {
+  std::size_t stes = 0;
+  std::size_t counters = 0;
+  std::size_t booleans = 0;
+  std::size_t reporting = 0;
+};
+
+MacroFootprint footprint_of(const anml::AutomataNetwork& network);
+
+/// How many identical copies of `macro` fit on `geometry` (the paper's
+/// vectors-per-board-configuration capacity rule).
+std::size_t max_copies(const MacroFootprint& macro,
+                       const DeviceGeometry& geometry,
+                       const PlacementOptions& options = {});
+
+}  // namespace apss::apsim

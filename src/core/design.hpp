@@ -1,0 +1,74 @@
+#pragma once
+// Shared constants of the kNN automata design: the symbol alphabet and the
+// stream/report timing algebra (Sec. III, Figs. 2-4).
+//
+// Alphabet. One 8-bit symbol is consumed per cycle. Bit 7 distinguishes
+// control symbols (SOF / EOF / FILL) from data symbols; data symbols carry
+// query bits in bits 0..6. The base design uses only bit 0 (one query bit
+// per symbol); symbol-stream multiplexing (Sec. VI-B) uses bits 0..6 for
+// seven parallel queries; the counter-increment extension (Sec. VII-A) uses
+// bits 0..6 for seven dimensions of one query.
+//
+// Timing. With collector-tree depth L (1 for d <= collector_fan_in^2):
+//   cycle 1            SOF
+//   cycles 2 .. d+1    query bits q_0 .. q_{d-1}
+//   cycles d+2 .. 2d+L+2   FILL   (d+L+1 fillers drive the temporal sort)
+//   cycle 2d+L+3       EOF    (resets the distance counter)
+// A macro whose encoded vector matches the query in h dimensions (inverted
+// Hamming distance h) reports at offset 2d+L+3-h within its query frame, so
+// Hamming distance = report_offset - (d+L+3).
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+namespace apss::core {
+
+struct Alphabet {
+  static constexpr std::uint8_t kControlFlag = 0x80;
+  static constexpr std::uint8_t kSof = 0x81;   ///< start-of-file guard symbol
+  static constexpr std::uint8_t kEof = 0x82;   ///< end-of-file reset symbol
+  static constexpr std::uint8_t kFill = 0x83;  ///< sort-phase filler
+
+  /// Data symbol carrying up to 7 payload bits (bit 7 clear).
+  static constexpr std::uint8_t data(std::uint8_t payload7) noexcept {
+    return payload7 & 0x7f;
+  }
+  /// Data symbol with a single query bit in slice 0 (the base design).
+  static constexpr std::uint8_t data_bit(bool bit) noexcept {
+    return bit ? 0x01 : 0x00;
+  }
+  static constexpr bool is_control(std::uint8_t symbol) noexcept {
+    return (symbol & kControlFlag) != 0;
+  }
+};
+
+/// Stream geometry for one query against macros of dimensionality `dims`
+/// built with collector-tree depth `collector_levels`.
+struct StreamSpec {
+  std::size_t dims = 0;
+  std::size_t collector_levels = 1;
+
+  std::size_t fill_symbols() const noexcept {
+    return dims + collector_levels + 1;
+  }
+  /// Symbols (= cycles) per query frame: SOF + d + fills + EOF.
+  std::size_t cycles_per_query() const noexcept {
+    return 2 * dims + collector_levels + 3;
+  }
+  /// Report offset within the frame for inverted Hamming distance h.
+  std::size_t report_offset(std::size_t inverted_distance) const noexcept {
+    return cycles_per_query() - inverted_distance;
+  }
+  /// Inverse mapping: Hamming distance from a report offset. Throws if the
+  /// offset is outside the legal window [d+L+3, 2d+L+3].
+  std::size_t distance_from_offset(std::size_t offset) const {
+    const std::size_t base = dims + collector_levels + 3;
+    if (offset < base || offset > cycles_per_query()) {
+      throw std::out_of_range("StreamSpec: report offset outside sort window");
+    }
+    return offset - base;
+  }
+};
+
+}  // namespace apss::core

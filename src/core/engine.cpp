@@ -1,0 +1,152 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/temporal_decode.hpp"
+
+namespace apss::core {
+
+ApKnnEngine::ApKnnEngine(knn::BinaryDataset dataset, EngineOptions options)
+    : dataset_(std::move(dataset)), options_(options) {
+  if (dataset_.empty()) {
+    throw std::invalid_argument("ApKnnEngine: empty dataset");
+  }
+  const std::size_t dims = dataset_.dims();
+  spec_ = StreamSpec{dims, collector_levels_for(dims, options_.macro)};
+
+  // Board capacity: how many macros fit one configuration. Use a prototype
+  // macro's footprint (all macros of a given dimensionality are isomorphic).
+  {
+    anml::AutomataNetwork prototype("prototype");
+    append_hamming_macro(prototype, dataset_.vector(0), 0, options_.macro);
+    const apsim::MacroFootprint fp = apsim::footprint_of(prototype);
+    capacity_ = apsim::max_copies(fp, options_.board, options_.placement);
+    if (capacity_ == 0) {
+      throw std::invalid_argument(
+          "ApKnnEngine: one macro exceeds the board capacity");
+    }
+  }
+  if (options_.max_vectors_per_config != 0) {
+    capacity_ = std::min(capacity_, options_.max_vectors_per_config);
+  }
+
+  // Compile one automata network per board configuration.
+  for (std::size_t begin = 0; begin < dataset_.size(); begin += capacity_) {
+    const std::size_t count = std::min(capacity_, dataset_.size() - begin);
+    Partition p;
+    p.begin = begin;
+    p.count = count;
+    p.network = std::make_unique<anml::AutomataNetwork>(
+        "config" + std::to_string(partitions_.size()));
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto layout = append_hamming_macro(
+          *p.network, dataset_.vector(begin + i),
+          static_cast<std::uint32_t>(begin + i), options_.macro);
+      if (layout.collector_levels != spec_.collector_levels) {
+        throw std::logic_error("ApKnnEngine: inconsistent collector depth");
+      }
+    }
+    partitions_.push_back(std::move(p));
+  }
+}
+
+apsim::PlacementResult ApKnnEngine::placement(std::size_t i) const {
+  return apsim::place(*partitions_.at(i).network, options_.board,
+                      options_.placement);
+}
+
+EngineStats ApKnnEngine::project(std::size_t query_count) const {
+  EngineStats s;
+  s.configurations = partitions_.size();
+  s.vectors_per_config = capacity_;
+  s.cycles_per_query = spec_.cycles_per_query();
+  s.queries = query_count;
+  s.simulated_cycles = query_count * s.cycles_per_query * s.configurations;
+  return s;
+}
+
+double ApKnnEngine::report_bandwidth_gbps() const {
+  // Sec. VI-C: 32*(n + d) bits conveyed per query, one query every
+  // cycles_per_query cycles (the paper uses 2d; we use our exact frame).
+  const double bits = 32.0 * (static_cast<double>(capacity_) +
+                              static_cast<double>(dataset_.dims()));
+  const double seconds = static_cast<double>(spec_.cycles_per_query()) *
+                         options_.device.timing.cycle_seconds();
+  return bits / seconds / 1e9;
+}
+
+std::vector<std::vector<knn::Neighbor>> ApKnnEngine::search(
+    const knn::BinaryDataset& queries, std::size_t k) {
+  if (queries.dims() != dataset_.dims()) {
+    throw std::invalid_argument("ApKnnEngine::search: query dims mismatch");
+  }
+  if (k == 0) {
+    throw std::invalid_argument("ApKnnEngine::search: k must be >= 1");
+  }
+  const std::size_t q = queries.size();
+  stats_ = project(q);
+
+  // One task per (configuration, query chunk); each task owns a simulator
+  // instance so tasks are embarrassingly parallel.
+  const std::size_t chunk = std::max<std::size_t>(1, options_.queries_per_chunk);
+  struct Task {
+    std::size_t config = 0;
+    std::size_t q_begin = 0;
+    std::size_t q_count = 0;
+    std::vector<std::vector<knn::Neighbor>> partial;
+    std::size_t report_events = 0;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t c = 0; c < partitions_.size(); ++c) {
+    for (std::size_t q_begin = 0; q_begin < q; q_begin += chunk) {
+      tasks.push_back({c, q_begin, std::min(chunk, q - q_begin), {}, 0});
+    }
+  }
+
+  const SymbolStreamEncoder encoder(spec_);
+  const auto run_task = [&](std::size_t t) {
+    Task& task = tasks[t];
+    const Partition& part = partitions_[task.config];
+    apsim::Simulator sim(*part.network,
+                         apsim::SimOptions::from(options_.device.features));
+    std::vector<std::uint8_t> stream;
+    stream.reserve(task.q_count * spec_.cycles_per_query());
+    for (std::size_t i = 0; i < task.q_count; ++i) {
+      encoder.append_query(queries.row(task.q_begin + i), stream);
+    }
+    const auto events = sim.run(stream);
+    task.report_events = events.size();
+    const TemporalSortDecoder decoder(spec_, task.q_count);
+    task.partial = decoder.decode(events, k);
+  };
+
+  if (options_.pool != nullptr) {
+    options_.pool->parallel_for(0, tasks.size(), run_task, /*grain=*/1);
+  } else {
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      run_task(t);
+    }
+  }
+
+  // Host-side merge across configurations (Sec. III-C: the host tracks
+  // intermediary per-query results between reconfigurations).
+  std::vector<std::vector<knn::Neighbor>> results(q);
+  for (const Task& task : tasks) {
+    stats_.report_events += task.report_events;
+    for (std::size_t i = 0; i < task.q_count; ++i) {
+      auto& dst = results[task.q_begin + i];
+      dst.insert(dst.end(), task.partial[i].begin(), task.partial[i].end());
+    }
+  }
+  const std::size_t want = std::min(k, dataset_.size());
+  for (auto& list : results) {
+    std::sort(list.begin(), list.end());
+    if (list.size() > want) {
+      list.resize(want);
+    }
+  }
+  return results;
+}
+
+}  // namespace apss::core

@@ -1,0 +1,42 @@
+#include "core/ext/comparison_macro.hpp"
+
+namespace apss::core {
+
+using anml::CounterPort;
+using anml::StartKind;
+using anml::SymbolSet;
+
+ComparisonLayout append_comparison_macro(anml::AutomataNetwork& network,
+                                         const SymbolSet& a_symbols,
+                                         const SymbolSet& b_symbols,
+                                         const SymbolSet& reset_symbols,
+                                         std::uint32_t report_code) {
+  ComparisonLayout layout;
+  layout.a_input =
+      network.add_ste(a_symbols, StartKind::kAllInput, "cmp.a_in");
+  layout.b_input =
+      network.add_ste(b_symbols, StartKind::kAllInput, "cmp.b_in");
+  layout.reset_input =
+      network.add_ste(reset_symbols, StartKind::kAllInput, "cmp.rst");
+
+  // B needs no static firing threshold of its own; it only publishes its
+  // internal count. Use an unreachably large target.
+  layout.counter_b = network.add_counter(~std::uint32_t{0},
+                                         anml::CounterMode::kPulse, "cmp.B");
+  layout.counter_a =
+      network.add_counter(1, anml::CounterMode::kPulse, "cmp.A");
+
+  network.connect(layout.a_input, layout.counter_a, CounterPort::kCountEnable);
+  network.connect(layout.b_input, layout.counter_b, CounterPort::kCountEnable);
+  network.connect(layout.reset_input, layout.counter_a, CounterPort::kReset);
+  network.connect(layout.reset_input, layout.counter_b, CounterPort::kReset);
+  // The Fig. 8 wire: B's internal count drives A's threshold port.
+  network.connect(layout.counter_b, layout.counter_a, CounterPort::kThreshold);
+
+  layout.output = network.add_reporting_ste(SymbolSet::all(), report_code,
+                                            "cmp.out");
+  network.connect(layout.counter_a, layout.output);
+  return layout;
+}
+
+}  // namespace apss::core

@@ -1,0 +1,35 @@
+#pragma once
+// Dynamic-threshold comparison macro (Sec. VII-B, Fig. 8): two counters
+// where B's internal count drives A's threshold port builds the
+// "if (A > B) ..." construct that static thresholds cannot express.
+//
+// Semantics (see apsim/simulator.hpp): A's effective threshold each cycle
+// is B's count at the end of the previous cycle plus one, so A's output
+// pulses on each rising edge of the condition count(A) > count(B).
+
+#include <cstdint>
+
+#include "anml/network.hpp"
+
+namespace apss::core {
+
+struct ComparisonLayout {
+  anml::ElementId a_input = anml::kInvalidElement;  ///< STE incrementing A
+  anml::ElementId b_input = anml::kInvalidElement;  ///< STE incrementing B
+  anml::ElementId reset_input = anml::kInvalidElement;  ///< resets both
+  anml::ElementId counter_a = anml::kInvalidElement;
+  anml::ElementId counter_b = anml::kInvalidElement;
+  anml::ElementId output = anml::kInvalidElement;  ///< fires when A > B
+};
+
+/// Appends a comparison macro. `a_symbols` / `b_symbols` define which input
+/// symbols count toward A and B; `reset_symbols` zeroes both counters.
+/// The output STE reports with `report_code` two cycles after the first
+/// input symbol that makes count(A) exceed count(B).
+ComparisonLayout append_comparison_macro(anml::AutomataNetwork& network,
+                                         const anml::SymbolSet& a_symbols,
+                                         const anml::SymbolSet& b_symbols,
+                                         const anml::SymbolSet& reset_symbols,
+                                         std::uint32_t report_code);
+
+}  // namespace apss::core

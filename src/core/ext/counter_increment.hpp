@@ -1,0 +1,81 @@
+#pragma once
+// Counter-increment extension (Sec. VII-A): with counters that accept up to
+// 8 increments per cycle, one data symbol can carry SEVEN dimensions of the
+// SAME query (bits 0..6), shrinking the Hamming phase from d to ceil(d/7)
+// cycles. The sort phase is unchanged, so the query frame drops from
+// 2d+L+3 to ceil(d/7)+d+L+3 cycles — the paper's 1.75x latency gain.
+//
+// Note this encoding is mutually exclusive with symbol-stream multiplexing
+// (Sec. VI-B), which spends the same payload bits on parallel queries.
+
+#include <cstdint>
+#include <vector>
+
+#include "anml/network.hpp"
+#include "core/design.hpp"
+#include "core/hamming_macro.hpp"
+#include "knn/dataset.hpp"
+#include "knn/exact.hpp"
+#include "util/bitvector.hpp"
+
+namespace apss::core {
+
+inline constexpr std::size_t kDimsPerSymbol = 7;
+
+/// Frame geometry for the dense-dimension encoding.
+struct CiStreamSpec {
+  std::size_t dims = 0;
+
+  std::size_t data_symbols() const noexcept {
+    return (dims + kDimsPerSymbol - 1) / kDimsPerSymbol;
+  }
+  std::size_t fill_symbols() const noexcept { return dims + 2; }
+  std::size_t cycles_per_query() const noexcept {
+    return data_symbols() + dims + 4;
+  }
+  std::size_t report_offset(std::size_t inverted_distance) const noexcept {
+    return cycles_per_query() - inverted_distance;
+  }
+  std::size_t distance_from_offset(std::size_t offset) const {
+    const std::size_t base = data_symbols() + 4;
+    if (offset < base || offset > cycles_per_query()) {
+      throw std::out_of_range("CiStreamSpec: offset outside sort window");
+    }
+    return offset - base;
+  }
+  /// Latency gain over the base design (paper: 1.75x for large d).
+  double speedup_vs_base() const noexcept {
+    return static_cast<double>(StreamSpec{dims, 1}.cycles_per_query()) /
+           static_cast<double>(cycles_per_query());
+  }
+};
+
+struct CiMacroLayout {
+  anml::ElementId guard = anml::kInvalidElement;
+  std::vector<anml::ElementId> chain;  ///< one per data symbol
+  std::vector<anml::ElementId> match;  ///< one per dimension
+  std::vector<anml::ElementId> slice_collectors;  ///< up to 7
+  anml::ElementId bridge = anml::kInvalidElement;
+  anml::ElementId sort_state = anml::kInvalidElement;
+  anml::ElementId eof_state = anml::kInvalidElement;
+  anml::ElementId counter = anml::kInvalidElement;
+  anml::ElementId report = anml::kInvalidElement;
+};
+
+/// Appends the dense-encoding macro for `vec`. Per-slice collectors keep
+/// simultaneous per-cycle matches distinguishable, so the counter must run
+/// with max_counter_increment >= 7 (DeviceConfig::opt_ext()).
+CiMacroLayout append_ci_macro(anml::AutomataNetwork& network,
+                              const util::BitVector& vec,
+                              std::uint32_t report_code);
+
+/// Encodes one query into the dense frame (7 dims per symbol).
+std::vector<std::uint8_t> encode_ci_query(const util::BitVector& query);
+
+/// Single-configuration kNN via the extension; requires a device with the
+/// multi-increment feature. Used by tests and the extension bench.
+std::vector<std::vector<knn::Neighbor>> ci_knn_search(
+    const knn::BinaryDataset& data, const knn::BinaryDataset& queries,
+    std::size_t k);
+
+}  // namespace apss::core

@@ -1,0 +1,55 @@
+#include "core/ext/ste_decomposition.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace apss::core {
+
+anml::SymbolSet knn_alphabet() {
+  anml::SymbolSet a;
+  a.insert(Alphabet::data_bit(false));
+  a.insert(Alphabet::data_bit(true));
+  a.insert(Alphabet::kSof);
+  a.insert(Alphabet::kEof);
+  a.insert(Alphabet::kFill);
+  return a;
+}
+
+double DecompositionAnalysis::ste_cost(std::size_t factor) const {
+  if (factor == 0 || factor > 256 ||
+      std::popcount(static_cast<unsigned>(factor)) != 1) {
+    throw std::invalid_argument("ste_cost: factor must be a power of two");
+  }
+  const std::size_t log2x =
+      static_cast<std::size_t>(std::countr_zero(static_cast<unsigned>(factor)));
+  const std::size_t sub_width = 8 - log2x;
+  double cost = 0.0;
+  for (std::size_t w = 0; w <= 8; ++w) {
+    if (w <= sub_width) {
+      cost += static_cast<double>(width_histogram[w]) /
+              static_cast<double>(factor);
+    } else {
+      // Too wide to decompose: occupies a full 8-input STE.
+      cost += static_cast<double>(width_histogram[w]);
+    }
+  }
+  return cost;
+}
+
+DecompositionAnalysis analyze_ste_decomposition(
+    const anml::AutomataNetwork& network, const anml::SymbolSet& alphabet) {
+  DecompositionAnalysis analysis;
+  for (std::size_t i = 0; i < network.size(); ++i) {
+    const anml::Element& e =
+        network.element(static_cast<anml::ElementId>(i));
+    if (e.kind != anml::ElementKind::kSte) {
+      continue;
+    }
+    ++analysis.total_stes;
+    const int w = e.symbols.required_bits(alphabet);
+    ++analysis.width_histogram[static_cast<std::size_t>(w)];
+  }
+  return analysis;
+}
+
+}  // namespace apss::core

@@ -1,0 +1,51 @@
+#pragma once
+// STE decomposition model (Sec. VII-C, Fig. 9, Table VII): an 8-input STE
+// (a 256-entry lookup table) can be split into x sub-STEs of 8-log2(x)
+// inputs. A state whose symbol class only inspects w bits of the symbol
+// fits in a sub-STE of w inputs, so designs dominated by narrow states pack
+// nearly x-fold denser.
+//
+// The analysis computes, for every STE in a network, the minimal number of
+// symbol bits a lookup table must observe (SymbolSet::required_bits) and
+// derives the 8-input-STE-equivalent cost under each decomposition factor.
+// Two alphabet assumptions are supported:
+//  * full 8-bit space (the paper's setting: fillers are arbitrary ^EOF
+//    symbols, so control states need exact 8-bit matches);
+//  * the restricted kNN alphabet {0x00, 0x01, SOF, EOF, FILL}, where an
+//    alphabet-aware synthesizer can shrink every state to <= 3 bits.
+
+#include <array>
+#include <cstddef>
+
+#include "anml/network.hpp"
+#include "core/design.hpp"
+
+namespace apss::anml {
+class AutomataNetwork;
+}
+
+namespace apss::core {
+
+/// Alphabet of the base kNN design (data bits ride slice 0).
+anml::SymbolSet knn_alphabet();
+
+struct DecompositionAnalysis {
+  std::size_t total_stes = 0;
+  /// width_histogram[w] = number of STEs needing exactly w symbol bits.
+  std::array<std::size_t, 9> width_histogram = {};
+
+  /// 8-input-STE-equivalents consumed under decomposition factor x
+  /// (x in {1,2,4,8,16,32}): states with width <= 8-log2(x) cost 1/x.
+  double ste_cost(std::size_t factor) const;
+  /// Resource savings vs stock hardware (Table VII rows).
+  double savings(std::size_t factor) const {
+    const double cost = ste_cost(factor);
+    return cost == 0.0 ? 0.0 : static_cast<double>(total_stes) / cost;
+  }
+};
+
+/// Analyzes every STE of `network` against `alphabet`.
+DecompositionAnalysis analyze_ste_decomposition(
+    const anml::AutomataNetwork& network, const anml::SymbolSet& alphabet);
+
+}  // namespace apss::core

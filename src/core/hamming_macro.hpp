@@ -1,0 +1,59 @@
+#pragma once
+// Hamming + sorting macro builder (Figs. 2a / 2b of the paper).
+//
+// One macro per dataset vector. The Hamming half counts matching dimensions
+// into an "inverted Hamming distance" counter; the sorting half uniformly
+// increments that counter during the fill phase so the report time encodes
+// the vector's Hamming distance (temporally encoded sort, Sec. III-B).
+
+#include <cstdint>
+#include <vector>
+
+#include "anml/network.hpp"
+#include "core/design.hpp"
+#include "util/bitvector.hpp"
+
+namespace apss::core {
+
+struct HammingMacroOptions {
+  /// Maximum children per collector-tree node (the paper's reduction tree
+  /// "to limit the maximum state fan in and improve routability").
+  std::size_t collector_fan_in = 16;
+  /// Maximum collector roots feeding the counter's enable port directly.
+  std::size_t max_counter_fan_in = 32;
+  /// Which bit slice of the data symbols the matching states observe
+  /// (slice 0 for the base design; 0..6 under stream multiplexing).
+  std::size_t bit_slice = 0;
+};
+
+/// Element ids of one placed macro, for introspection, traces, and tests.
+struct MacroLayout {
+  anml::ElementId guard = anml::kInvalidElement;
+  std::vector<anml::ElementId> chain;       ///< the "*" backbone, one per dim
+  std::vector<anml::ElementId> match;       ///< matching state per dim
+  std::vector<anml::ElementId> collectors;  ///< all collector-tree nodes
+  std::vector<anml::ElementId> bridge;      ///< delay chain before the sort state
+  anml::ElementId sort_state = anml::kInvalidElement;
+  anml::ElementId eof_state = anml::kInvalidElement;
+  anml::ElementId counter = anml::kInvalidElement;
+  anml::ElementId report = anml::kInvalidElement;
+  std::size_t collector_levels = 1;  ///< tree depth L (timing parameter)
+
+  StreamSpec stream_spec(std::size_t dims) const noexcept {
+    return {dims, collector_levels};
+  }
+};
+
+/// Appends the macro encoding `vec` to `network`; report events carry
+/// `report_code` (the dataset vector id). Returns the element layout.
+MacroLayout append_hamming_macro(anml::AutomataNetwork& network,
+                                 const util::BitVector& vec,
+                                 std::uint32_t report_code,
+                                 const HammingMacroOptions& options = {});
+
+/// Collector-tree depth the builder will use for `dims` under `options`
+/// (needed by the stream encoder before any macro is built).
+std::size_t collector_levels_for(std::size_t dims,
+                                 const HammingMacroOptions& options = {});
+
+}  // namespace apss::core

@@ -1,0 +1,152 @@
+#include "core/jaccard.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+#include "apsim/simulator.hpp"
+#include "core/stream.hpp"
+
+namespace apss::core {
+
+using anml::AutomataNetwork;
+using anml::CounterPort;
+using anml::ElementId;
+using anml::StartKind;
+using anml::SymbolSet;
+
+JaccardMacroLayout append_jaccard_macro(AutomataNetwork& network,
+                                        const util::BitVector& vec,
+                                        std::uint32_t report_code,
+                                        const HammingMacroOptions& options) {
+  const std::size_t dims = vec.size();
+  const std::size_t m = vec.popcount();
+  if (dims == 0 || m == 0) {
+    throw std::invalid_argument("jaccard macro: need a nonempty set");
+  }
+  const std::string prefix = "j" + std::to_string(report_code) + ".";
+
+  JaccardMacroLayout layout;
+  layout.set_bits = m;
+
+  const ElementId guard = network.add_ste(SymbolSet::single(Alphabet::kSof),
+                                          StartKind::kAllInput,
+                                          prefix + "guard");
+  layout.counter = network.add_counter(static_cast<std::uint32_t>(m),
+                                       anml::CounterMode::kPulse,
+                                       prefix + "isect");
+
+  // Backbone chain; matching states ONLY at the encoded set's 1-bits, and
+  // only for input bit 1 (intersection semantics).
+  ElementId prev = guard;
+  std::vector<ElementId> matches;
+  const SymbolSet one = SymbolSet::ternary(
+      static_cast<std::uint8_t>(1u << options.bit_slice),
+      static_cast<std::uint8_t>(Alphabet::kControlFlag |
+                                (1u << options.bit_slice)));
+  for (std::size_t i = 0; i < dims; ++i) {
+    const ElementId star = network.add_ste(
+        SymbolSet::all(), StartKind::kNone, prefix + "chain" + std::to_string(i));
+    network.connect(prev, star);
+    if (vec.get(i)) {
+      const ElementId match = network.add_ste(
+          one, StartKind::kNone, prefix + "match" + std::to_string(i));
+      network.connect(prev, match);
+      matches.push_back(match);
+    }
+    prev = star;
+  }
+  for (std::size_t g = 0; g < matches.size(); g += options.collector_fan_in) {
+    const ElementId col = network.add_ste(SymbolSet::all(), StartKind::kNone,
+                                          prefix + "col" + std::to_string(g));
+    const std::size_t hi =
+        std::min(matches.size(), g + options.collector_fan_in);
+    for (std::size_t i = g; i < hi; ++i) {
+      network.connect(matches[i], col);
+    }
+    network.connect(col, layout.counter, CounterPort::kCountEnable);
+  }
+
+  // Sorting macro, identical to the Hamming design (L = 1).
+  const ElementId bridge = network.add_ste(SymbolSet::all(), StartKind::kNone,
+                                           prefix + "bridge");
+  network.connect(prev, bridge);
+  const ElementId sort_state = network.add_ste(
+      SymbolSet::all_except(Alphabet::kEof), StartKind::kNone, prefix + "sort");
+  network.connect(bridge, sort_state);
+  network.connect(sort_state, sort_state);
+  network.connect(sort_state, layout.counter, CounterPort::kCountEnable);
+  const ElementId eof = network.add_ste(SymbolSet::single(Alphabet::kEof),
+                                        StartKind::kNone, prefix + "eof");
+  network.connect(sort_state, eof);
+  network.connect(eof, layout.counter, CounterPort::kReset);
+  layout.report = network.add_reporting_ste(SymbolSet::all(), report_code,
+                                            prefix + "report");
+  network.connect(layout.counter, layout.report);
+  return layout;
+}
+
+double exact_jaccard(std::span<const std::uint64_t> a,
+                     std::span<const std::uint64_t> b) {
+  std::size_t inter = 0, uni = 0;
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    inter += static_cast<std::size_t>(std::popcount(a[w] & b[w]));
+    uni += static_cast<std::size_t>(std::popcount(a[w] | b[w]));
+  }
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::vector<std::vector<JaccardResult>> jaccard_search(
+    const knn::BinaryDataset& data, const knn::BinaryDataset& queries,
+    std::size_t k) {
+  if (data.empty() || queries.dims() != data.dims() || k == 0) {
+    throw std::invalid_argument("jaccard_search: bad arguments");
+  }
+  const std::size_t dims = data.dims();
+
+  AutomataNetwork net("jaccard");
+  std::vector<std::size_t> set_bits(data.size());
+  for (std::size_t v = 0; v < data.size(); ++v) {
+    set_bits[v] = append_jaccard_macro(net, data.vector(v),
+                                       static_cast<std::uint32_t>(v))
+                      .set_bits;
+  }
+  apsim::Simulator sim(net);
+  const StreamSpec spec{dims, 1};
+  const SymbolStreamEncoder encoder(spec);
+
+  std::vector<std::vector<JaccardResult>> results(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto events = sim.run(encoder.encode_query(queries.vector(q)));
+    const std::size_t query_bits = queries.vector(q).popcount();
+    auto& list = results[q];
+    for (const apsim::ReportEvent& e : events) {
+      const std::size_t m = set_bits[e.report_code];
+      const std::size_t base = dims + 4;  // first offset for i < m (L = 1)
+      // Offsets before `base` mean the counter crossed during the compute
+      // phase: a FULL intersection (i = m).
+      const std::size_t i =
+          e.cycle < base ? m : m - std::min(m, e.cycle - base);
+      const double jac =
+          query_bits + m == i
+              ? 1.0
+              : static_cast<double>(i) /
+                    static_cast<double>(query_bits + m - i);
+      list.push_back({e.report_code, static_cast<std::uint32_t>(i), jac});
+    }
+    // The temporal order sorts by intersection COUNT; exact Jaccard also
+    // divides by the union size, so the host rescores and re-sorts.
+    std::stable_sort(list.begin(), list.end(),
+                     [](const JaccardResult& a, const JaccardResult& b) {
+                       return a.jaccard != b.jaccard ? a.jaccard > b.jaccard
+                                                     : a.id < b.id;
+                     });
+    if (list.size() > k) {
+      list.resize(k);
+    }
+  }
+  return results;
+}
+
+}  // namespace apss::core

@@ -1,0 +1,59 @@
+#pragma once
+// Jaccard similarity search — the other metric the paper notes is
+// "well-documented and can be efficiently implemented" on the AP
+// (Sec. II-C, citing Micron's cookbook). Sets are binary vectors; a
+// Jaccard macro counts INTERSECTION bits (positions where both the
+// encoded set and the query are 1) and reuses the temporal sort so
+// higher-overlap sets report earlier.
+//
+// Counter threshold = m = |A| (the encoded set's cardinality). For
+// intersection i < m the report lands at offset d+4+(m-i); a FULL
+// intersection (i = m) crosses during the compute phase and reports
+// earlier than d+4, which the decoder maps to i = m unambiguously.
+// Exact Jaccard = i / (|A| + |B| - i) is finished on the host, which
+// knows |B| = popcount(query) — the AP performs the heavy candidate
+// ranking, the host the final O(k) rescoring.
+
+#include <cstdint>
+#include <vector>
+
+#include "anml/network.hpp"
+#include "core/design.hpp"
+#include "core/hamming_macro.hpp"
+#include "knn/dataset.hpp"
+#include "util/bitvector.hpp"
+
+namespace apss::core {
+
+struct JaccardMacroLayout {
+  anml::ElementId counter = anml::kInvalidElement;
+  anml::ElementId report = anml::kInvalidElement;
+  std::size_t set_bits = 0;  ///< m = |A|
+};
+
+/// Appends the Jaccard macro for `vec` (requires at least one set bit).
+JaccardMacroLayout append_jaccard_macro(anml::AutomataNetwork& network,
+                                        const util::BitVector& vec,
+                                        std::uint32_t report_code,
+                                        const HammingMacroOptions& options = {});
+
+struct JaccardResult {
+  std::uint32_t id = 0;
+  std::uint32_t intersection = 0;
+  double jaccard = 0.0;
+
+  friend bool operator==(const JaccardResult&, const JaccardResult&) = default;
+};
+
+/// Top-k Jaccard search over `data` via simulated AP execution. Results
+/// are sorted by descending Jaccard (ties by id). Vectors and queries
+/// must each have at least one set bit.
+std::vector<std::vector<JaccardResult>> jaccard_search(
+    const knn::BinaryDataset& data, const knn::BinaryDataset& queries,
+    std::size_t k);
+
+/// Host-side exact Jaccard for validation.
+double exact_jaccard(std::span<const std::uint64_t> a,
+                     std::span<const std::uint64_t> b);
+
+}  // namespace apss::core

@@ -1,0 +1,126 @@
+#include "core/opt/stream_multiplexing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "apsim/simulator.hpp"
+#include "core/temporal_decode.hpp"
+
+namespace apss::core {
+
+std::vector<MacroLayout> build_multiplexed_network(
+    anml::AutomataNetwork& network, const knn::BinaryDataset& data,
+    std::size_t slices, const HammingMacroOptions& base_options) {
+  if (slices == 0 || slices > kMaxSlices) {
+    throw std::invalid_argument("build_multiplexed_network: slices must be 1..7");
+  }
+  std::vector<MacroLayout> layouts;
+  layouts.reserve(data.size() * slices);
+  for (std::size_t v = 0; v < data.size(); ++v) {
+    for (std::size_t s = 0; s < slices; ++s) {
+      HammingMacroOptions opt = base_options;
+      opt.bit_slice = s;
+      layouts.push_back(append_hamming_macro(
+          network, data.vector(v),
+          MuxReportCode::encode(static_cast<std::uint32_t>(v), s), opt));
+    }
+  }
+  return layouts;
+}
+
+std::vector<std::uint8_t> MultiplexedStreamEncoder::encode_group(
+    const knn::BinaryDataset& queries, std::size_t begin,
+    std::size_t count) const {
+  if (count == 0 || count > kMaxSlices) {
+    throw std::invalid_argument("encode_group: count must be 1..7");
+  }
+  if (begin + count > queries.size()) {
+    throw std::invalid_argument("encode_group: range out of bounds");
+  }
+  if (queries.dims() != spec_.dims) {
+    throw std::invalid_argument("encode_group: query dims mismatch");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(spec_.cycles_per_query());
+  out.push_back(Alphabet::kSof);
+  for (std::size_t i = 0; i < spec_.dims; ++i) {
+    std::uint8_t payload = 0;
+    for (std::size_t s = 0; s < count; ++s) {
+      if (queries.get(begin + s, i)) {
+        payload |= static_cast<std::uint8_t>(1u << s);
+      }
+    }
+    out.push_back(Alphabet::data(payload));
+  }
+  for (std::size_t i = 0; i < spec_.fill_symbols(); ++i) {
+    out.push_back(Alphabet::kFill);
+  }
+  out.push_back(Alphabet::kEof);
+  return out;
+}
+
+std::vector<std::uint8_t> MultiplexedStreamEncoder::encode_batch(
+    const knn::BinaryDataset& queries, std::size_t& frames_out) const {
+  std::vector<std::uint8_t> out;
+  frames_out = 0;
+  for (std::size_t begin = 0; begin < queries.size(); begin += kMaxSlices) {
+    const std::size_t count = std::min(kMaxSlices, queries.size() - begin);
+    const auto frame = encode_group(queries, begin, count);
+    out.insert(out.end(), frame.begin(), frame.end());
+    ++frames_out;
+  }
+  return out;
+}
+
+MultiplexedKnn::MultiplexedKnn(knn::BinaryDataset data, std::size_t slices,
+                               HammingMacroOptions options)
+    : data_(std::move(data)), slices_(slices), network_("multiplexed") {
+  if (data_.empty()) {
+    throw std::invalid_argument("MultiplexedKnn: empty dataset");
+  }
+  spec_ = StreamSpec{data_.dims(),
+                     collector_levels_for(data_.dims(), options)};
+  build_multiplexed_network(network_, data_, slices_, options);
+}
+
+std::vector<std::vector<knn::Neighbor>> MultiplexedKnn::search(
+    const knn::BinaryDataset& queries, std::size_t k) const {
+  if (queries.dims() != data_.dims()) {
+    throw std::invalid_argument("MultiplexedKnn::search: dims mismatch");
+  }
+  if (k == 0) {
+    throw std::invalid_argument("MultiplexedKnn::search: k must be >= 1");
+  }
+  const MultiplexedStreamEncoder encoder(spec_);
+  apsim::Simulator sim(network_);
+  std::vector<std::vector<knn::Neighbor>> results(queries.size());
+
+  for (std::size_t begin = 0; begin < queries.size(); begin += slices_) {
+    const std::size_t count = std::min(slices_, queries.size() - begin);
+    const auto frame = encoder.encode_group(queries, begin, count);
+    const auto events = sim.run(frame);
+    // Demux: slice s belongs to query begin+s.
+    for (const apsim::ReportEvent& event : events) {
+      const std::size_t slice = MuxReportCode::slice(event.report_code);
+      if (slice >= count) {
+        continue;  // macros of unused slices observe stale bit 0 values
+      }
+      const std::size_t distance = spec_.distance_from_offset(event.cycle);
+      auto& list = results[begin + slice];
+      if (list.size() < k) {
+        list.push_back({MuxReportCode::vector_id(event.report_code),
+                        static_cast<std::uint32_t>(distance)});
+      }
+    }
+  }
+  const std::size_t want = std::min(k, data_.size());
+  for (auto& list : results) {
+    std::stable_sort(list.begin(), list.end());
+    if (list.size() > want) {
+      list.resize(want);
+    }
+  }
+  return results;
+}
+
+}  // namespace apss::core

@@ -1,0 +1,90 @@
+#pragma once
+// Symbol-stream multiplexing (Sec. VI-B, Fig. 6): the 8-bit symbol stream
+// carries one query bit per BIT SLICE, so up to 7 queries ride one stream
+// (bit 7 is reserved to distinguish control symbols). Each dataset vector
+// gets one macro per active slice whose matching states perform the ternary
+// match 0b*......b on their slice — the TCAM-style encoding of the paper.
+
+#include <cstdint>
+#include <vector>
+
+#include "anml/network.hpp"
+#include "core/engine.hpp"
+#include "core/hamming_macro.hpp"
+#include "knn/dataset.hpp"
+#include "knn/exact.hpp"
+
+namespace apss::core {
+
+inline constexpr std::size_t kMaxSlices = 7;
+
+/// Report-code packing for multiplexed designs: code = vector_id * 8 + slice.
+struct MuxReportCode {
+  static std::uint32_t encode(std::uint32_t vector_id, std::size_t slice) {
+    return vector_id * 8 + static_cast<std::uint32_t>(slice);
+  }
+  static std::uint32_t vector_id(std::uint32_t code) { return code / 8; }
+  static std::size_t slice(std::uint32_t code) { return code % 8; }
+};
+
+/// Builds macros for every dataset vector replicated across `slices` bit
+/// slices (Fig. 6: "NFA STEs are replicated and encoded to discriminate
+/// among different bit slices"). Returns one layout per (vector, slice),
+/// vector-major.
+std::vector<MacroLayout> build_multiplexed_network(
+    anml::AutomataNetwork& network, const knn::BinaryDataset& data,
+    std::size_t slices, const HammingMacroOptions& base_options = {});
+
+/// Encodes up to 7 parallel queries (rows of `queries`, all with the macro
+/// dimensionality) into ONE multiplexed frame per query group.
+class MultiplexedStreamEncoder {
+ public:
+  explicit MultiplexedStreamEncoder(StreamSpec spec) : spec_(spec) {}
+
+  /// One frame carrying rows [begin, begin+count) of `queries` in slices
+  /// 0..count-1. count must be 1..7.
+  std::vector<std::uint8_t> encode_group(const knn::BinaryDataset& queries,
+                                         std::size_t begin,
+                                         std::size_t count) const;
+
+  /// Encodes a whole query set, 7 per frame; returns the stream and the
+  /// number of frames.
+  std::vector<std::uint8_t> encode_batch(const knn::BinaryDataset& queries,
+                                         std::size_t& frames_out) const;
+
+  const StreamSpec& spec() const noexcept { return spec_; }
+
+ private:
+  StreamSpec spec_;
+};
+
+/// End-to-end multiplexed kNN on one board configuration: builds the
+/// slice-replicated network, streams 7 queries per frame, and demuxes
+/// reports back to per-query neighbor lists. Used by tests and the Fig. 6
+/// bench to demonstrate the 7x query-throughput improvement.
+class MultiplexedKnn {
+ public:
+  MultiplexedKnn(knn::BinaryDataset data, std::size_t slices = kMaxSlices,
+                 HammingMacroOptions options = {});
+
+  std::vector<std::vector<knn::Neighbor>> search(
+      const knn::BinaryDataset& queries, std::size_t k) const;
+
+  const anml::AutomataNetwork& network() const noexcept { return network_; }
+  std::size_t slices() const noexcept { return slices_; }
+  const StreamSpec& spec() const noexcept { return spec_; }
+
+  /// Frames (and thus cycles) needed for `q` queries: ceil(q / slices) vs
+  /// q for the base design — the throughput gain of Sec. VI-B.
+  std::size_t frames_for(std::size_t q) const {
+    return (q + slices_ - 1) / slices_;
+  }
+
+ private:
+  knn::BinaryDataset data_;
+  std::size_t slices_;
+  StreamSpec spec_;
+  anml::AutomataNetwork network_;
+};
+
+}  // namespace apss::core

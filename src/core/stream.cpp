@@ -1,0 +1,45 @@
+#include "core/stream.hpp"
+
+#include <stdexcept>
+
+namespace apss::core {
+
+void SymbolStreamEncoder::append_query(std::span<const std::uint64_t> query_words,
+                                       std::vector<std::uint8_t>& out) const {
+  const std::size_t d = spec_.dims;
+  out.reserve(out.size() + spec_.cycles_per_query());
+  out.push_back(Alphabet::kSof);
+  for (std::size_t i = 0; i < d; ++i) {
+    const bool bit = (query_words[i >> 6] >> (i & 63)) & 1u;
+    out.push_back(Alphabet::data_bit(bit));
+  }
+  for (std::size_t i = 0; i < spec_.fill_symbols(); ++i) {
+    out.push_back(Alphabet::kFill);
+  }
+  out.push_back(Alphabet::kEof);
+}
+
+std::vector<std::uint8_t> SymbolStreamEncoder::encode_query(
+    const util::BitVector& query) const {
+  if (query.size() != spec_.dims) {
+    throw std::invalid_argument("SymbolStreamEncoder: query dims mismatch");
+  }
+  std::vector<std::uint8_t> out;
+  append_query(query.words(), out);
+  return out;
+}
+
+std::vector<std::uint8_t> SymbolStreamEncoder::encode_batch(
+    const knn::BinaryDataset& queries) const {
+  if (queries.dims() != spec_.dims) {
+    throw std::invalid_argument("SymbolStreamEncoder: query dims mismatch");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(queries.size() * spec_.cycles_per_query());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    append_query(queries.row(q), out);
+  }
+  return out;
+}
+
+}  // namespace apss::core

@@ -1,0 +1,38 @@
+#pragma once
+// Symbol-stream encoding for queries (Fig. 2c) and report decoding for the
+// temporally encoded sort (Fig. 4).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/design.hpp"
+#include "knn/dataset.hpp"
+#include "util/bitvector.hpp"
+
+namespace apss::core {
+
+/// Encodes query vectors into the SOF / data / FILL / EOF symbol frames the
+/// macros expect. Queries are concatenated back-to-back, exactly as a host
+/// processor drives the device.
+class SymbolStreamEncoder {
+ public:
+  explicit SymbolStreamEncoder(StreamSpec spec) : spec_(spec) {}
+
+  const StreamSpec& spec() const noexcept { return spec_; }
+
+  /// One query frame (cycles_per_query() symbols).
+  std::vector<std::uint8_t> encode_query(const util::BitVector& query) const;
+
+  /// All rows of `queries`, concatenated.
+  std::vector<std::uint8_t> encode_batch(const knn::BinaryDataset& queries) const;
+
+  /// Appends one query frame to `out`.
+  void append_query(std::span<const std::uint64_t> query_words,
+                    std::vector<std::uint8_t>& out) const;
+
+ private:
+  StreamSpec spec_;
+};
+
+}  // namespace apss::core

@@ -1,0 +1,42 @@
+#include "core/temporal_decode.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace apss::core {
+
+std::pair<std::size_t, knn::Neighbor> TemporalSortDecoder::decode_event(
+    const apsim::ReportEvent& event) const {
+  if (event.cycle == 0) {
+    throw std::out_of_range("TemporalSortDecoder: zero cycle");
+  }
+  const std::size_t cpq = spec_.cycles_per_query();
+  const std::size_t query = (event.cycle - 1) / cpq;
+  if (query >= query_count_) {
+    throw std::out_of_range("TemporalSortDecoder: event beyond last query");
+  }
+  const std::size_t offset = event.cycle - query * cpq;
+  const std::size_t distance = spec_.distance_from_offset(offset);
+  return {query,
+          {event.report_code, static_cast<std::uint32_t>(distance)}};
+}
+
+std::vector<std::vector<knn::Neighbor>> TemporalSortDecoder::decode(
+    std::span<const apsim::ReportEvent> events, std::size_t k) const {
+  std::vector<std::vector<knn::Neighbor>> results(query_count_);
+  for (const apsim::ReportEvent& event : events) {
+    auto [query, neighbor] = decode_event(event);
+    auto& list = results[query];
+    if (k == 0 || list.size() < k) {
+      list.push_back(neighbor);
+    }
+  }
+  // Events with equal distance share a cycle and arrive in arbitrary id
+  // order; normalize within each distance group for deterministic output.
+  for (auto& list : results) {
+    std::stable_sort(list.begin(), list.end());
+  }
+  return results;
+}
+
+}  // namespace apss::core

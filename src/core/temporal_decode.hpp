@@ -1,0 +1,42 @@
+#pragma once
+// Host-side decoding of report events into sorted nearest-neighbor lists.
+//
+// The AP conveys each reporting-state activation as (stream offset, state
+// id). Because the sorting macro makes more-similar vectors report earlier,
+// decoding is a single pass: the offset within the query frame maps
+// directly to the Hamming distance (StreamSpec::distance_from_offset), and
+// events arrive already sorted by distance within each query.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apsim/simulator.hpp"
+#include "core/design.hpp"
+#include "knn/exact.hpp"
+
+namespace apss::core {
+
+class TemporalSortDecoder {
+ public:
+  TemporalSortDecoder(StreamSpec spec, std::size_t query_count)
+      : spec_(spec), query_count_(query_count) {}
+
+  /// Decodes a batch run's events (cycles are 1-based over the whole
+  /// concatenated stream; report codes are dataset vector ids). Returns one
+  /// ascending-distance neighbor list per query, truncated to `k` if k > 0.
+  /// Throws std::out_of_range if an event falls outside any sort window —
+  /// that would mean the automata design is broken.
+  std::vector<std::vector<knn::Neighbor>> decode(
+      std::span<const apsim::ReportEvent> events, std::size_t k = 0) const;
+
+  /// Decodes one event's (query index, neighbor).
+  std::pair<std::size_t, knn::Neighbor> decode_event(
+      const apsim::ReportEvent& event) const;
+
+ private:
+  StreamSpec spec_;
+  std::size_t query_count_;
+};
+
+}  // namespace apss::core

@@ -1,0 +1,93 @@
+#include "hwmodels/fpga_accelerator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bitvector.hpp"
+
+namespace apss::hwmodels {
+
+HardwarePriorityQueue::HardwarePriorityQueue(std::size_t k) : k_(k) {
+  if (k == 0) {
+    throw std::invalid_argument("HardwarePriorityQueue: k must be >= 1");
+  }
+  slots_.reserve(k);
+}
+
+void HardwarePriorityQueue::insert(knn::Neighbor candidate) {
+  // Systolic sorted-array behaviour: the candidate shifts in at its rank;
+  // the worst entry falls off the end.
+  if (slots_.size() == k_ && !(candidate < slots_.back())) {
+    return;
+  }
+  const auto pos = std::upper_bound(slots_.begin(), slots_.end(), candidate);
+  slots_.insert(pos, candidate);
+  if (slots_.size() > k_) {
+    slots_.pop_back();
+  }
+}
+
+FpgaAccelerator::FpgaAccelerator(knn::BinaryDataset data, FpgaOptions options)
+    : data_(std::move(data)), options_(options) {
+  if (data_.empty()) {
+    throw std::invalid_argument("FpgaAccelerator: empty dataset");
+  }
+  if (options_.query_lanes == 0 || options_.word_bits == 0 ||
+      options_.word_bits > 64) {
+    throw std::invalid_argument("FpgaAccelerator: bad options");
+  }
+}
+
+FpgaRunStats FpgaAccelerator::project(std::size_t queries, std::size_t n,
+                                      std::size_t dims, std::size_t k) const {
+  FpgaRunStats stats;
+  stats.batches = (queries + options_.query_lanes - 1) / options_.query_lanes;
+  const std::size_t words = (dims + options_.word_bits - 1) / options_.word_bits;
+  stats.cycles = static_cast<std::uint64_t>(stats.batches) * n * words +
+                 static_cast<std::uint64_t>(stats.batches) *
+                     options_.query_lanes * k +
+                 options_.pipeline_fill;
+  return stats;
+}
+
+std::vector<std::vector<knn::Neighbor>> FpgaAccelerator::search(
+    const knn::BinaryDataset& queries, std::size_t k,
+    FpgaRunStats& stats) const {
+  if (queries.dims() != data_.dims()) {
+    throw std::invalid_argument("FpgaAccelerator::search: dims mismatch");
+  }
+  if (k == 0) {
+    throw std::invalid_argument("FpgaAccelerator::search: k must be >= 1");
+  }
+  stats = project(queries.size(), data_.size(), data_.dims(), k);
+
+  const std::size_t want = std::min(k, data_.size());
+  std::vector<std::vector<knn::Neighbor>> results(queries.size());
+
+  // Batch loop mirrors the hardware: lanes hold one query each in the
+  // scratchpad; every dataset vector streams past all lanes.
+  for (std::size_t batch_begin = 0; batch_begin < queries.size();
+       batch_begin += options_.query_lanes) {
+    const std::size_t lanes =
+        std::min(options_.query_lanes, queries.size() - batch_begin);
+    std::vector<HardwarePriorityQueue> pqs;
+    pqs.reserve(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      pqs.emplace_back(want);
+    }
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      const auto row = data_.row(i);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const auto dist = static_cast<std::uint32_t>(
+            util::hamming_distance(row, queries.row(batch_begin + l)));
+        pqs[l].insert({static_cast<std::uint32_t>(i), dist});
+      }
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+      results[batch_begin + l] = pqs[l].contents();
+    }
+  }
+  return results;
+}
+
+}  // namespace apss::hwmodels

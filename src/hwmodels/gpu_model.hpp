@@ -1,0 +1,43 @@
+#pragma once
+// Analytic GPU run-time model for the paper's off-the-shelf CUDA baseline
+// (Garcia et al., adapted to XOR/POPCOUNT — Sec. IV-C).
+//
+// The paper observes "poor GPU performance likely due to poor blocking of
+// the binarized data" (Sec. V-B): Titan X takes ~1.0 s and Jetson ~16 s on
+// the LARGE dataset for all three workloads, i.e. run time is nearly
+// independent of payload size. That is the signature of a LAUNCH-BOUND
+// kernel (one dispatch per query with fine-grained accesses), so the model
+// is: time = q x per_query_overhead + bytes_moved / effective_bandwidth.
+// Calibration: Titan X 4096 x 240 us + 68.7 GB / 336 GB/s ~= 1.02 s
+// (paper SIFT: 1.02 s); Jetson 4096 x 3.9 ms ~= 16.0 s (paper: 16.7 s).
+
+#include <cstddef>
+#include <string>
+
+namespace apss::hwmodels {
+
+struct GpuModel {
+  std::string name;
+  double per_query_overhead_s = 0.0;  ///< kernel launch + sync per query
+  double effective_bandwidth_bytes_per_s = 0.0;
+
+  /// Modeled wall clock for a q-query batch over n d-bit vectors.
+  double seconds(std::size_t queries, std::size_t n, std::size_t dims) const {
+    const double bytes = static_cast<double>(queries) > 0
+                             ? static_cast<double>(n) *
+                                   (static_cast<double>(dims) / 8.0)
+                             : 0.0;
+    // The dataset streams once per query batch; with per-query dispatch the
+    // whole payload is re-read per kernel epoch. The bandwidth term uses
+    // one full pass per query batch of 32 (the baseline's tile height).
+    const double passes =
+        (static_cast<double>(queries) + 31.0) / 32.0;
+    return static_cast<double>(queries) * per_query_overhead_s +
+           passes * bytes / effective_bandwidth_bytes_per_s;
+  }
+
+  static GpuModel titan_x() { return {"Titan X", 240e-6, 336e9}; }
+  static GpuModel jetson_tk1() { return {"Jetson TK1", 3.9e-3, 14.7e9}; }
+};
+
+}  // namespace apss::hwmodels

@@ -1,0 +1,45 @@
+#include "index/index.hpp"
+
+#include <algorithm>
+
+#include "util/bitvector.hpp"
+
+namespace apss::index {
+
+std::vector<knn::Neighbor> approximate_knn(const BucketIndex& index,
+                                           const knn::BinaryDataset& data,
+                                           std::span<const std::uint64_t> query,
+                                           std::size_t k,
+                                           TraversalStats* stats) {
+  TraversalStats local;
+  const auto ids = index.candidates(query, local);
+  if (stats != nullptr) {
+    *stats += local;
+  }
+  std::vector<knn::Neighbor> result;
+  result.reserve(ids.size());
+  for (const std::uint32_t id : ids) {
+    result.push_back({id, static_cast<std::uint32_t>(
+                              util::hamming_distance(data.row(id), query))});
+  }
+  std::sort(result.begin(), result.end());
+  if (result.size() > k) {
+    result.resize(k);
+  }
+  return result;
+}
+
+double index_recall(const BucketIndex& index, const knn::BinaryDataset& data,
+                    const knn::BinaryDataset& queries, std::size_t k) {
+  if (queries.empty()) {
+    return 1.0;
+  }
+  double total = 0.0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto approx = approximate_knn(index, data, queries.row(q), k);
+    total += knn::recall_at_k(data, queries.row(q), k, approx);
+  }
+  return total / static_cast<double>(queries.size());
+}
+
+}  // namespace apss::index

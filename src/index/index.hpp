@@ -1,0 +1,67 @@
+#pragma once
+// Spatial indexing structures for approximate kNN (Sec. II-A / III-D).
+//
+// The paper offloads index TRAVERSAL to the host processor and scans the
+// selected leaf bucket either on the CPU (baseline) or by loading that
+// bucket's board configuration onto the AP. All three index families
+// therefore share one interface: map a query to candidate vector ids.
+// Bucket sizes are naturally matched to one AP board configuration
+// (512-1024 vectors, Sec. V-B).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "knn/dataset.hpp"
+#include "knn/exact.hpp"
+
+namespace apss::index {
+
+/// Host-side traversal cost accounting, consumed by the Table V model.
+struct TraversalStats {
+  std::size_t nodes_visited = 0;
+  std::size_t distance_computations = 0;
+  std::size_t buckets_probed = 0;
+
+  void operator+=(const TraversalStats& o) {
+    nodes_visited += o.nodes_visited;
+    distance_computations += o.distance_computations;
+    buckets_probed += o.buckets_probed;
+  }
+};
+
+class BucketIndex {
+ public:
+  virtual ~BucketIndex() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Candidate ids for `query` (duplicates removed), plus traversal cost.
+  virtual std::vector<std::uint32_t> candidates(
+      std::span<const std::uint64_t> query, TraversalStats& stats) const = 0;
+
+  std::vector<std::uint32_t> candidates(
+      std::span<const std::uint64_t> query) const {
+    TraversalStats stats;
+    return candidates(query, stats);
+  }
+
+  virtual std::size_t bucket_count() const = 0;
+  virtual std::size_t max_bucket_size() const = 0;
+};
+
+/// Approximate kNN: traverse the index, then linear-scan the candidates
+/// (the paper's CPU path; the AP path scans the same bucket on-device).
+std::vector<knn::Neighbor> approximate_knn(const BucketIndex& index,
+                                           const knn::BinaryDataset& data,
+                                           std::span<const std::uint64_t> query,
+                                           std::size_t k,
+                                           TraversalStats* stats = nullptr);
+
+/// Mean recall@k of an index over a query set (vs exact linear scan).
+double index_recall(const BucketIndex& index, const knn::BinaryDataset& data,
+                    const knn::BinaryDataset& queries, std::size_t k);
+
+}  // namespace apss::index

@@ -1,0 +1,126 @@
+#include "index/kd_tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace apss::index {
+
+RandomizedKdForest::RandomizedKdForest(const knn::BinaryDataset& data,
+                                       const KdTreeOptions& options)
+    : data_(data), options_(options) {
+  if (data.empty()) {
+    throw std::invalid_argument("RandomizedKdForest: empty dataset");
+  }
+  if (options_.trees == 0 || options_.leaf_size == 0) {
+    throw std::invalid_argument("RandomizedKdForest: bad options");
+  }
+  util::Rng rng(options_.seed);
+  std::vector<std::uint32_t> all(data.size());
+  std::iota(all.begin(), all.end(), 0u);
+  for (std::size_t t = 0; t < options_.trees; ++t) {
+    roots_.push_back(build(all, rng, 0));
+  }
+}
+
+std::unique_ptr<RandomizedKdForest::Node> RandomizedKdForest::build(
+    std::vector<std::uint32_t> ids, util::Rng& rng, std::size_t depth) {
+  auto node = std::make_unique<Node>();
+  // Depth bound: the index size scales exponentially with depth
+  // (Sec. II-A), and degenerate splits must terminate.
+  if (ids.size() <= options_.leaf_size || depth >= 40) {
+    node->bucket = std::move(ids);
+    return node;
+  }
+
+  // Rank dimensions by variance of their bit over this subset; draw the
+  // split from the top pool (the "randomized" in randomized kd-trees).
+  const std::size_t dims = data_.dims();
+  std::vector<std::size_t> ones(dims, 0);
+  for (const std::uint32_t id : ids) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      ones[d] += data_.get(id, d);
+    }
+  }
+  std::vector<std::size_t> order(dims);
+  std::iota(order.begin(), order.end(), 0u);
+  // Bit variance is p(1-p): maximized at balanced splits, so rank by
+  // |count - n/2| ascending.
+  const double half = static_cast<double>(ids.size()) / 2.0;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double da = std::abs(static_cast<double>(ones[a]) - half);
+    const double db = std::abs(static_cast<double>(ones[b]) - half);
+    return da < db;
+  });
+  const std::size_t pool = std::min(options_.top_variance_pool, dims);
+  const std::size_t split = order[rng.below(pool)];
+
+  // Degenerate split (all bits equal): make a leaf.
+  if (ones[split] == 0 || ones[split] == ids.size()) {
+    node->bucket = std::move(ids);
+    return node;
+  }
+
+  std::vector<std::uint32_t> zeros, onesv;
+  for (const std::uint32_t id : ids) {
+    (data_.get(id, split) ? onesv : zeros).push_back(id);
+  }
+  node->split_dim = static_cast<std::int32_t>(split);
+  node->zero_child = build(std::move(zeros), rng, depth + 1);
+  node->one_child = build(std::move(onesv), rng, depth + 1);
+  return node;
+}
+
+std::vector<std::uint32_t> RandomizedKdForest::candidates(
+    std::span<const std::uint64_t> query, TraversalStats& stats) const {
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> result;
+  for (const auto& root : roots_) {
+    const Node* node = root.get();
+    while (node->split_dim >= 0) {
+      ++stats.nodes_visited;
+      const std::size_t dim = static_cast<std::size_t>(node->split_dim);
+      const bool bit = (query[dim >> 6] >> (dim & 63)) & 1u;
+      node = bit ? node->one_child.get() : node->zero_child.get();
+    }
+    ++stats.buckets_probed;
+    for (const std::uint32_t id : node->bucket) {
+      if (seen.insert(id).second) {
+        result.push_back(id);
+      }
+    }
+  }
+  return result;
+}
+
+void RandomizedKdForest::visit_buckets(
+    const Node* node, std::size_t& count, std::size_t& largest) {
+  if (node->split_dim < 0) {
+    ++count;
+    largest = std::max(largest, node->bucket.size());
+    return;
+  }
+  visit_buckets(node->zero_child.get(), count, largest);
+  visit_buckets(node->one_child.get(), count, largest);
+}
+
+std::size_t RandomizedKdForest::bucket_count() const {
+  std::size_t count = 0;
+  std::size_t largest = 0;
+  for (const auto& root : roots_) {
+    visit_buckets(root.get(), count, largest);
+  }
+  return count;
+}
+
+std::size_t RandomizedKdForest::max_bucket_size() const {
+  std::size_t count = 0;
+  std::size_t largest = 0;
+  for (const auto& root : roots_) {
+    visit_buckets(root.get(), count, largest);
+  }
+  return largest;
+}
+
+}  // namespace apss::index

@@ -1,0 +1,54 @@
+#pragma once
+// Randomized kd-trees over binary codes (Sec. II-A): each tree splits on a
+// dimension drawn from the highest-variance bits; leaves hold buckets of
+// candidate ids. A query descends every tree to one leaf and unions the
+// buckets — "each tree traversal checks one bucket of vectors" (Sec. IV-C).
+
+#include <memory>
+
+#include "index/index.hpp"
+#include "util/rng.hpp"
+
+namespace apss::index {
+
+struct KdTreeOptions {
+  std::size_t trees = 4;        ///< parallel randomized trees (paper: 4)
+  std::size_t leaf_size = 512;  ///< bucket target = one AP configuration
+  std::size_t top_variance_pool = 16;  ///< split dim drawn from this many
+  std::uint64_t seed = 1;
+};
+
+class RandomizedKdForest final : public BucketIndex {
+ public:
+  RandomizedKdForest(const knn::BinaryDataset& data,
+                     const KdTreeOptions& options = {});
+
+  std::string name() const override { return "kd-tree"; }
+  std::vector<std::uint32_t> candidates(std::span<const std::uint64_t> query,
+                                        TraversalStats& stats) const override;
+  using BucketIndex::candidates;
+  std::size_t bucket_count() const override;
+  std::size_t max_bucket_size() const override;
+
+  std::size_t tree_count() const noexcept { return roots_.size(); }
+
+ private:
+  struct Node {
+    // Interior: split_dim >= 0, children valid. Leaf: bucket filled.
+    std::int32_t split_dim = -1;
+    std::unique_ptr<Node> zero_child;
+    std::unique_ptr<Node> one_child;
+    std::vector<std::uint32_t> bucket;
+  };
+
+  std::unique_ptr<Node> build(std::vector<std::uint32_t> ids,
+                              util::Rng& rng, std::size_t depth);
+  static void visit_buckets(const Node* node, std::size_t& count,
+                            std::size_t& largest);
+
+  const knn::BinaryDataset& data_;
+  KdTreeOptions options_;
+  std::vector<std::unique_ptr<Node>> roots_;
+};
+
+}  // namespace apss::index

@@ -1,0 +1,169 @@
+#include "index/kmeans_tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace apss::index {
+
+HierarchicalKMeansTree::HierarchicalKMeansTree(const knn::BinaryDataset& data,
+                                               const KMeansTreeOptions& options)
+    : data_(data), options_(options) {
+  if (data.empty()) {
+    throw std::invalid_argument("HierarchicalKMeansTree: empty dataset");
+  }
+  if (options_.branching < 2 || options_.leaf_size == 0) {
+    throw std::invalid_argument("HierarchicalKMeansTree: bad options");
+  }
+  util::Rng rng(options_.seed);
+  std::vector<std::uint32_t> all(data.size());
+  std::iota(all.begin(), all.end(), 0u);
+  root_ = build(std::move(all), rng, 0);
+}
+
+std::unique_ptr<HierarchicalKMeansTree::Node> HierarchicalKMeansTree::build(
+    std::vector<std::uint32_t> ids, util::Rng& rng, std::size_t depth) {
+  auto node = std::make_unique<Node>();
+  if (ids.size() <= options_.leaf_size || depth >= 24) {
+    node->bucket = std::move(ids);
+    return node;
+  }
+
+  const std::size_t k = std::min(options_.branching, ids.size());
+  const std::size_t dims = data_.dims();
+
+  // Seed centers with distinct random members, then run Lloyd iterations
+  // with majority-vote (Hamming centroid) updates.
+  std::vector<util::BitVector> centers;
+  centers.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    centers.push_back(data_.vector(ids[rng.below(ids.size())]));
+  }
+
+  std::vector<std::uint32_t> assignment(ids.size(), 0);
+  for (std::size_t iter = 0; iter < options_.lloyd_iterations; ++iter) {
+    // Assign.
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      std::size_t best = 0;
+      std::size_t best_dist = ~std::size_t{0};
+      for (std::size_t c = 0; c < k; ++c) {
+        const std::size_t dist =
+            util::hamming_distance(data_.row(ids[i]), centers[c].words());
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      assignment[i] = static_cast<std::uint32_t>(best);
+    }
+    // Update: per-cluster majority vote on every bit.
+    std::vector<std::vector<std::size_t>> ones(k,
+                                               std::vector<std::size_t>(dims));
+    std::vector<std::size_t> sizes(k, 0);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      ++sizes[assignment[i]];
+      for (std::size_t d = 0; d < dims; ++d) {
+        ones[assignment[i]][d] += data_.get(ids[i], d);
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (sizes[c] == 0) {
+        centers[c] = data_.vector(ids[rng.below(ids.size())]);  // re-seed
+        continue;
+      }
+      for (std::size_t d = 0; d < dims; ++d) {
+        centers[c].set(d, 2 * ones[c][d] >= sizes[c]);
+      }
+    }
+  }
+
+  // Final assignment into children.
+  std::vector<std::vector<std::uint32_t>> parts(k);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    std::size_t best = 0;
+    std::size_t best_dist = ~std::size_t{0};
+    for (std::size_t c = 0; c < k; ++c) {
+      const std::size_t dist =
+          util::hamming_distance(data_.row(ids[i]), centers[c].words());
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    parts[best].push_back(ids[i]);
+  }
+  // Degenerate clustering (everything in one cluster): stop splitting.
+  std::size_t nonempty = 0;
+  for (const auto& p : parts) {
+    nonempty += !p.empty();
+  }
+  if (nonempty < 2) {
+    node->bucket = std::move(ids);
+    return node;
+  }
+
+  for (std::size_t c = 0; c < k; ++c) {
+    if (parts[c].empty()) {
+      continue;
+    }
+    node->centers.push_back(centers[c]);
+    node->children.push_back(build(std::move(parts[c]), rng, depth + 1));
+  }
+  return node;
+}
+
+std::vector<std::uint32_t> HierarchicalKMeansTree::candidates(
+    std::span<const std::uint64_t> query, TraversalStats& stats) const {
+  const Node* node = root_.get();
+  while (!node->children.empty()) {
+    ++stats.nodes_visited;
+    std::size_t best = 0;
+    std::size_t best_dist = ~std::size_t{0};
+    for (std::size_t c = 0; c < node->centers.size(); ++c) {
+      ++stats.distance_computations;
+      const std::size_t dist =
+          util::hamming_distance(query, node->centers[c].words());
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    node = node->children[best].get();
+  }
+  ++stats.buckets_probed;
+  return node->bucket;
+}
+
+void HierarchicalKMeansTree::visit(const Node* node, std::size_t& buckets,
+                                   std::size_t& largest, std::size_t depth,
+                                   std::size_t& max_depth) {
+  max_depth = std::max(max_depth, depth);
+  if (node->children.empty()) {
+    ++buckets;
+    largest = std::max(largest, node->bucket.size());
+    return;
+  }
+  for (const auto& child : node->children) {
+    visit(child.get(), buckets, largest, depth + 1, max_depth);
+  }
+}
+
+std::size_t HierarchicalKMeansTree::bucket_count() const {
+  std::size_t buckets = 0, largest = 0, max_depth = 0;
+  visit(root_.get(), buckets, largest, 0, max_depth);
+  return buckets;
+}
+
+std::size_t HierarchicalKMeansTree::max_bucket_size() const {
+  std::size_t buckets = 0, largest = 0, max_depth = 0;
+  visit(root_.get(), buckets, largest, 0, max_depth);
+  return largest;
+}
+
+std::size_t HierarchicalKMeansTree::depth() const {
+  std::size_t buckets = 0, largest = 0, max_depth = 0;
+  visit(root_.get(), buckets, largest, 0, max_depth);
+  return max_depth;
+}
+
+}  // namespace apss::index

@@ -1,0 +1,55 @@
+#pragma once
+// Hierarchical k-means index (Sec. II-A): the dataset is recursively
+// partitioned into `branching` clusters (k-means in Hamming space with
+// majority-vote centroids); unlike kd-trees, descending the tree costs one
+// distance computation per child at every node. Leaves are buckets sized
+// for one AP board configuration.
+
+#include <memory>
+
+#include "index/index.hpp"
+#include "util/bitvector.hpp"
+#include "util/rng.hpp"
+
+namespace apss::index {
+
+struct KMeansTreeOptions {
+  std::size_t branching = 8;
+  std::size_t leaf_size = 512;
+  std::size_t lloyd_iterations = 5;
+  std::uint64_t seed = 1;
+};
+
+class HierarchicalKMeansTree final : public BucketIndex {
+ public:
+  HierarchicalKMeansTree(const knn::BinaryDataset& data,
+                         const KMeansTreeOptions& options = {});
+
+  std::string name() const override { return "k-means"; }
+  std::vector<std::uint32_t> candidates(std::span<const std::uint64_t> query,
+                                        TraversalStats& stats) const override;
+  using BucketIndex::candidates;
+  std::size_t bucket_count() const override;
+  std::size_t max_bucket_size() const override;
+
+  std::size_t depth() const;
+
+ private:
+  struct Node {
+    std::vector<util::BitVector> centers;        ///< empty at leaves
+    std::vector<std::unique_ptr<Node>> children;
+    std::vector<std::uint32_t> bucket;
+  };
+
+  std::unique_ptr<Node> build(std::vector<std::uint32_t> ids,
+                              util::Rng& rng, std::size_t depth);
+  static void visit(const Node* node, std::size_t& buckets,
+                    std::size_t& largest, std::size_t depth,
+                    std::size_t& max_depth);
+
+  const knn::BinaryDataset& data_;
+  KMeansTreeOptions options_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace apss::index

@@ -1,0 +1,96 @@
+#include "index/lsh.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace apss::index {
+
+LshIndex::LshIndex(const knn::BinaryDataset& data, const LshOptions& options)
+    : data_(data), options_(options) {
+  if (data.empty()) {
+    throw std::invalid_argument("LshIndex: empty dataset");
+  }
+  if (options_.tables == 0 || options_.hash_bits == 0 ||
+      options_.hash_bits > 63 || options_.hash_bits > data.dims()) {
+    throw std::invalid_argument("LshIndex: bad options");
+  }
+  util::Rng rng(options_.seed);
+  tables_.resize(options_.tables);
+  for (Table& table : tables_) {
+    // Sample hash_bits distinct dimensions.
+    std::vector<std::uint32_t> dims(data.dims());
+    std::iota(dims.begin(), dims.end(), 0u);
+    for (std::size_t i = 0; i < options_.hash_bits; ++i) {
+      const std::size_t j = i + rng.below(dims.size() - i);
+      std::swap(dims[i], dims[j]);
+    }
+    dims.resize(options_.hash_bits);
+    table.sampled_dims = std::move(dims);
+    for (std::size_t id = 0; id < data.size(); ++id) {
+      table.buckets[key_for(table, data.row(id))].push_back(
+          static_cast<std::uint32_t>(id));
+    }
+  }
+}
+
+std::uint64_t LshIndex::key_for(const Table& table,
+                                std::span<const std::uint64_t> vec) const {
+  std::uint64_t key = 0;
+  for (std::size_t i = 0; i < table.sampled_dims.size(); ++i) {
+    const std::uint32_t dim = table.sampled_dims[i];
+    const std::uint64_t bit = (vec[dim >> 6] >> (dim & 63)) & 1u;
+    key |= bit << i;
+  }
+  return key;
+}
+
+std::vector<std::uint32_t> LshIndex::candidates(
+    std::span<const std::uint64_t> query, TraversalStats& stats) const {
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> result;
+  const auto probe = [&](const Table& table, std::uint64_t key) {
+    ++stats.buckets_probed;
+    const auto it = table.buckets.find(key);
+    if (it == table.buckets.end()) {
+      return;
+    }
+    for (const std::uint32_t id : it->second) {
+      if (seen.insert(id).second) {
+        result.push_back(id);
+      }
+    }
+  };
+  for (const Table& table : tables_) {
+    ++stats.nodes_visited;  // one hash evaluation per table
+    const std::uint64_t key = key_for(table, query);
+    probe(table, key);
+    if (options_.multi_probe) {
+      for (std::size_t bit = 0; bit < options_.hash_bits; ++bit) {
+        probe(table, key ^ (std::uint64_t{1} << bit));
+      }
+    }
+  }
+  return result;
+}
+
+std::size_t LshIndex::bucket_count() const {
+  std::size_t count = 0;
+  for (const Table& table : tables_) {
+    count += table.buckets.size();
+  }
+  return count;
+}
+
+std::size_t LshIndex::max_bucket_size() const {
+  std::size_t largest = 0;
+  for (const Table& table : tables_) {
+    for (const auto& [key, bucket] : table.buckets) {
+      largest = std::max(largest, bucket.size());
+    }
+  }
+  return largest;
+}
+
+}  // namespace apss::index

@@ -1,0 +1,49 @@
+#pragma once
+// Bit-sampling LSH for Hamming space (Sec. II-A; the canonical LSH family
+// for Hamming distance). Each of L tables hashes on `hash_bits` randomly
+// sampled bit positions; a query probes its own bucket in every table and
+// optionally the multi-probe neighborhood (all keys at key-Hamming
+// distance 1), which is the "MPLSH" configuration of Table V.
+
+#include <unordered_map>
+
+#include "index/index.hpp"
+#include "util/rng.hpp"
+
+namespace apss::index {
+
+struct LshOptions {
+  std::size_t tables = 4;      ///< paper: four hash tables
+  std::size_t hash_bits = 10;  ///< key width; buckets ~ n / 2^hash_bits
+  bool multi_probe = false;    ///< also probe all keys at distance 1
+  std::uint64_t seed = 1;
+};
+
+class LshIndex final : public BucketIndex {
+ public:
+  LshIndex(const knn::BinaryDataset& data, const LshOptions& options = {});
+
+  std::string name() const override {
+    return options_.multi_probe ? "mplsh" : "lsh";
+  }
+  std::vector<std::uint32_t> candidates(std::span<const std::uint64_t> query,
+                                        TraversalStats& stats) const override;
+  using BucketIndex::candidates;
+  std::size_t bucket_count() const override;
+  std::size_t max_bucket_size() const override;
+
+ private:
+  struct Table {
+    std::vector<std::uint32_t> sampled_dims;
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+  };
+
+  std::uint64_t key_for(const Table& table,
+                        std::span<const std::uint64_t> vec) const;
+
+  const knn::BinaryDataset& data_;
+  LshOptions options_;
+  std::vector<Table> tables_;
+};
+
+}  // namespace apss::index

@@ -1,0 +1,72 @@
+#pragma once
+// Table V model: spatial-indexing speedups of ARM + AP over a
+// single-threaded ARM CPU, following Sec. V-B's methodology — index
+// traversal is benchmarked on the host, bucket scans run either on the CPU
+// or on the AP (one board configuration per bucket), and searches to the
+// same bucket are batched so each distinct bucket costs one
+// reconfiguration per query batch.
+//
+//   T_cpu(technique) = q x (t_traversal + candidates x d / cpu_rate)
+//   T_ap(technique)  = q x t_traversal
+//                    + distinct_buckets x t_reconfig
+//                    + q x buckets_per_query x t_bucket_scan_ap
+//
+// Traversal statistics (candidates per query, buckets probed, distinct
+// buckets touched by the batch) are MEASURED from this repo's real index
+// structures on a sampled dataset and scaled to the target n.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "apsim/device.hpp"
+#include "perf/workloads.hpp"
+
+namespace apss::perf {
+
+struct IndexingTechniqueModel {
+  std::string name;
+  // Measured per-query traversal profile (from src/index structures).
+  double traversal_seconds = 0.0;       ///< host-side walk per query
+  double candidates_per_query = 0.0;    ///< vectors scanned per query
+  double buckets_per_query = 0.0;       ///< AP bucket scans per query
+  double distinct_buckets_per_batch = 0.0;  ///< reconfigurations per batch
+  /// CPU-baseline backtracking factor. The paper's CPU tree baselines are
+  /// FLANN randomized kd-trees / k-means trees, which backtrack through
+  /// many leaf buckets per query (the `checks` parameter) to reach usable
+  /// recall, while the AP design scans exactly one bucket per traversal
+  /// (Sec. III-D). Without this asymmetry Table V's kd/k-means >> MPLSH
+  /// ordering is not reproducible. 1.0 = no backtracking (linear, LSH).
+  double cpu_backtrack_multiplier = 1.0;
+};
+
+struct IndexingScenario {
+  Workload workload;            ///< Table V uses kNN-TagSpace
+  std::size_t n = kLargeN;
+  std::size_t queries = kQueryCount;
+  /// Single-threaded ARM scan rate: the quad-core Cortex A15 rate divided
+  /// by its core count (Sec. V-B compares against one thread).
+  double cpu_scan_bits_per_second = 2.80e9 / 4.0;
+};
+
+struct IndexingResult {
+  std::string technique;
+  double cpu_seconds = 0.0;
+  double ap_seconds = 0.0;
+  double speedup = 0.0;  ///< cpu / ap — the Table V entry
+};
+
+/// Evaluates one technique under a device generation.
+IndexingResult evaluate_indexing(const IndexingScenario& scenario,
+                                 const IndexingTechniqueModel& technique,
+                                 const apsim::DeviceConfig& device);
+
+/// Builds the four Table V technique profiles by constructing this repo's
+/// kd-forest / k-means tree / (MP)LSH over a sampled dataset of
+/// `sample_n` vectors and measuring traversal behaviour, then scaling
+/// bucket geometry to the scenario's n. "linear" is the no-index row.
+std::vector<IndexingTechniqueModel> measure_techniques(
+    const IndexingScenario& scenario, std::size_t sample_n = 1u << 15,
+    std::uint64_t seed = 1);
+
+}  // namespace apss::perf

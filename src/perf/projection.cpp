@@ -1,0 +1,85 @@
+#include "perf/projection.hpp"
+
+#include <stdexcept>
+
+#include "core/ext/counter_increment.hpp"
+#include "core/ext/ste_decomposition.hpp"
+#include "core/hamming_macro.hpp"
+#include "core/opt/vector_packing.hpp"
+
+namespace apss::perf {
+
+ApEstimate estimate_ap(const ApScenario& s) {
+  if (s.n == 0 || s.workload.vectors_per_config == 0) {
+    throw std::invalid_argument("estimate_ap: bad scenario");
+  }
+  ApEstimate e;
+  e.configurations = (s.n + s.workload.vectors_per_config - 1) /
+                     s.workload.vectors_per_config;
+  const core::StreamSpec frame{s.workload.dims, 1};
+  e.cycles_per_query = s.throughput == ApThroughput::kPaperDCycles
+                           ? static_cast<double>(s.workload.dims)
+                           : static_cast<double>(frame.cycles_per_query());
+  e.compute_seconds = static_cast<double>(s.queries) * e.cycles_per_query *
+                      static_cast<double>(e.configurations) *
+                      s.device.timing.cycle_seconds();
+  e.reconfig_seconds = e.configurations > 1
+                           ? static_cast<double>(e.configurations) *
+                                 s.device.timing.reconfig_seconds
+                           : 0.0;
+  e.total_seconds = e.compute_seconds + e.reconfig_seconds;
+  e.queries_per_joule = hwmodels::queries_per_joule(
+      s.queries, e.total_seconds, hwmodels::ap_dynamic_power_w(s.workload.dims));
+  return e;
+}
+
+double scan_seconds(const hwmodels::Platform& platform, std::size_t queries,
+                    std::size_t n, std::size_t dims) {
+  if (platform.scan_bits_per_second <= 0.0) {
+    throw std::invalid_argument("scan_seconds: platform has no scan rate");
+  }
+  return static_cast<double>(queries) * static_cast<double>(n) *
+         static_cast<double>(dims) / platform.scan_bits_per_second;
+}
+
+CompoundGains compound_gains(const Workload& workload, std::uint64_t seed) {
+  CompoundGains g;
+  g.tech_scaling = hwmodels::kApTechScaling;
+
+  // Vector packing: measured STE savings on a 64-vector random sample
+  // packed in groups of 4 (the Table VIII configuration).
+  {
+    const auto sample =
+        knn::BinaryDataset::uniform(64, workload.dims, seed);
+    core::VectorPackingOptions opt;
+    opt.group_size = 4;
+    g.vector_packing = core::packing_savings(sample, opt).ratio();
+  }
+
+  // STE decomposition at x = 4 under the full-alphabet assumption (control
+  // states cost a whole 8-input STE, as in the paper's PCRE-level designs).
+  {
+    anml::AutomataNetwork net;
+    core::append_hamming_macro(net, util::BitVector(workload.dims), 0);
+    const auto analysis =
+        core::analyze_ste_decomposition(net, anml::SymbolSet::all());
+    g.ste_decomposition = analysis.savings(4);
+  }
+
+  // Counter-increment extension: exact frame-shrink ratio.
+  g.counter_increment = core::CiStreamSpec{workload.dims}.speedup_vs_base();
+  return g;
+}
+
+ApEstimate estimate_ap_opt_ext(const ApScenario& gen2_scenario,
+                               const CompoundGains& gains) {
+  ApEstimate base = estimate_ap(gen2_scenario);
+  ApEstimate e = base;
+  e.total_seconds = base.total_seconds / gains.total();
+  e.compute_seconds = base.compute_seconds / gains.total();
+  e.reconfig_seconds = base.reconfig_seconds / gains.total();
+  e.queries_per_joule = base.queries_per_joule * gains.energy_total();
+  return e;
+}
+
+}  // namespace apss::perf

@@ -1,0 +1,77 @@
+#pragma once
+// Run-time and energy projection models behind Tables III, IV and VIII.
+//
+// AP device time = configurations x queries x cycles_per_query / clock
+//                + reconfiguration (one per configuration when > 1).
+// Two throughput conventions are provided because the paper's tables use a
+// d-cycle steady state (e.g. SIFT small: 4096 x 128 x 7.5 ns = 3.93 ms vs
+// the reported 3.94 ms) while its Sec. VI-C text uses a 2d-cycle latency;
+// our honest frame is 2d+L+3 cycles. Benches print both against the paper.
+
+#include <cstddef>
+
+#include "apsim/device.hpp"
+#include "core/design.hpp"
+#include "hwmodels/platforms.hpp"
+#include "perf/workloads.hpp"
+
+namespace apss::perf {
+
+enum class ApThroughput {
+  kPaperDCycles,  ///< d cycles/query (what Tables III/IV imply)
+  kFrameCycles,   ///< 2d+L+3 cycles/query (our exact stream frame)
+};
+
+struct ApScenario {
+  Workload workload;
+  std::size_t n = 0;
+  std::size_t queries = kQueryCount;
+  apsim::DeviceConfig device = apsim::DeviceConfig::gen1();
+  ApThroughput throughput = ApThroughput::kPaperDCycles;
+};
+
+struct ApEstimate {
+  std::size_t configurations = 0;
+  double cycles_per_query = 0.0;
+  double compute_seconds = 0.0;
+  double reconfig_seconds = 0.0;
+  double total_seconds = 0.0;
+  double queries_per_joule = 0.0;
+};
+
+ApEstimate estimate_ap(const ApScenario& scenario);
+
+/// CPU/streaming platforms: time = q x n x d / effective scan rate, using
+/// the paper-calibrated per-platform rates (hwmodels::Platform).
+double scan_seconds(const hwmodels::Platform& platform, std::size_t queries,
+                    std::size_t n, std::size_t dims);
+
+// --- Table VIII: compounded Opt+Ext gains -----------------------------------
+
+struct CompoundGains {
+  double tech_scaling = 0.0;       ///< 50 nm -> 28 nm (Sec. VII-D: 3.19x)
+  double vector_packing = 0.0;     ///< measured, groups of 4 (Sec. VI-A)
+  double ste_decomposition = 0.0;  ///< measured, x = 4 (Sec. VII-C)
+  double counter_increment = 0.0;  ///< frame shrink (Sec. VII-A, ~1.75x)
+
+  double total() const {
+    return tech_scaling * vector_packing * ste_decomposition *
+           counter_increment;
+  }
+  /// Energy improves by total / tech_scaling: the added compute density
+  /// costs proportional power (Sec. VII-D).
+  double energy_total() const { return total() / tech_scaling; }
+};
+
+/// Computes the four factors from THIS REPO'S models: vector packing from
+/// real packed networks over a random sample, STE decomposition from the
+/// macro's LUT-width analysis (full-alphabet assumption), counter increment
+/// from the dense-frame arithmetic.
+CompoundGains compound_gains(const Workload& workload, std::uint64_t seed = 1);
+
+/// AP Opt+Ext projection (Table IV last column): Gen-2 estimate scaled by
+/// the compounded performance gain; energy by the power-adjusted gain.
+ApEstimate estimate_ap_opt_ext(const ApScenario& gen2_scenario,
+                               const CompoundGains& gains);
+
+}  // namespace apss::perf

@@ -1,0 +1,52 @@
+#include "perf/workloads.hpp"
+
+#include <stdexcept>
+
+namespace apss::perf {
+
+std::vector<Workload> paper_workloads() {
+  return {
+      {"kNN-WordEmbed", 64, 2, 1024, 1024},
+      {"kNN-SIFT", 128, 4, 1024, 1024},
+      {"kNN-TagSpace", 256, 16, 512, 512},
+  };
+}
+
+const Workload& workload(const std::string& name) {
+  static const std::vector<Workload> all = paper_workloads();
+  for (const Workload& w : all) {
+    if (w.name == name) {
+      return w;
+    }
+  }
+  throw std::out_of_range("workload: unknown workload '" + name + "'");
+}
+
+const PaperReference& paper_reference(const std::string& workload_name) {
+  // Values transcribed from Tables III and IV and Sec. V-A of the paper.
+  static const PaperReference word_embed = {
+      23.33, 103.63, 125.80, 1.89, 1.97,
+      3344, 4941, 27133, 579214, 110445,
+      19.89, 109.06, 16.09, 0.99, 1.85, 48.10, 2.48, 0.039,
+      3.92, 4.69, 212.14, 83.84, 593.89, 4.53, 87.81, 1737.92,
+      41.7};
+  static const PaperReference sift = {
+      37.50, 191.44, 155.94, 3.78, 3.94,
+      2081, 2674, 21889, 289607, 44603,
+      33.18, 199.5, 16.73, 1.02, 3.69, 50.11, 4.50, 0.062,
+      2.35, 2.57, 204.02, 81.94, 296.95, 4.34, 48.40, 1091.86,
+      90.9};
+  static const PaperReference tagspace = {
+      33.97, 185.34, 160.15, 4.33, 7.88,
+      2297, 2762, 21314, 253406, 22301,
+      60.12, 382.82, 16.41, 1.03, 7.38, 108.31, 17.07, 0.23,
+      1.30, 1.34, 208.00, 81.05, 148.47, 1.62, 10.20, 236.30,
+      78.6};
+  if (workload_name == "kNN-WordEmbed") return word_embed;
+  if (workload_name == "kNN-SIFT") return sift;
+  if (workload_name == "kNN-TagSpace") return tagspace;
+  throw std::out_of_range("paper_reference: unknown workload '" +
+                          workload_name + "'");
+}
+
+}  // namespace apss::perf

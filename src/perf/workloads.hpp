@@ -1,0 +1,44 @@
+#pragma once
+// The paper's kNN workload parameters (Table II) plus the dataset-size
+// regimes of the evaluation (Sec. V-B).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace apss::perf {
+
+struct Workload {
+  std::string name;
+  std::size_t dims = 0;       ///< vector dimensionality (Table II)
+  std::size_t k = 0;          ///< neighbors (Table II)
+  std::size_t small_n = 0;    ///< small-dataset size (Table III)
+  std::size_t vectors_per_config = 0;  ///< AP board capacity (Sec. V-A)
+};
+
+inline constexpr std::size_t kQueryCount = 4096;     ///< Sec. IV-A
+inline constexpr std::size_t kLargeN = 1u << 20;     ///< Table IV (~1M)
+
+/// kNN-WordEmbed (64, 2), kNN-SIFT (128, 4), kNN-TagSpace (256, 16).
+std::vector<Workload> paper_workloads();
+
+const Workload& workload(const std::string& name);
+
+/// Paper-reported reference numbers for shape comparison in the benches.
+struct PaperReference {
+  // Table III (small): run time ms / energy q/J, per platform.
+  double xeon_ms = 0, arm_ms = 0, jetson_ms = 0, kintex_ms = 0, ap_gen1_ms = 0;
+  double xeon_qpj = 0, arm_qpj = 0, jetson_qpj = 0, kintex_qpj = 0,
+         ap_gen1_qpj = 0;
+  // Table IV (large): run time s / energy q/J.
+  double l_xeon_s = 0, l_arm_s = 0, l_jetson_s = 0, l_titan_s = 0,
+         l_kintex_s = 0, l_gen1_s = 0, l_gen2_s = 0, l_optext_s = 0;
+  double l_xeon_qpj = 0, l_arm_qpj = 0, l_jetson_qpj = 0, l_titan_qpj = 0,
+         l_kintex_qpj = 0, l_gen1_qpj = 0, l_gen2_qpj = 0, l_optext_qpj = 0;
+  // Sec. V-A resource utilization (percent).
+  double utilization_pct = 0;
+};
+
+const PaperReference& paper_reference(const std::string& workload_name);
+
+}  // namespace apss::perf

@@ -1,0 +1,131 @@
+#include "quant/itq.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace apss::quant {
+
+ItqQuantizer ItqQuantizer::fit(const Matrix& training,
+                               const ItqOptions& options) {
+  if (training.rows() < 2) {
+    throw std::invalid_argument("ItqQuantizer::fit: need >= 2 samples");
+  }
+  if (options.bits == 0 || options.bits > training.cols()) {
+    throw std::invalid_argument(
+        "ItqQuantizer::fit: bits must be in [1, feature_dims]");
+  }
+
+  ItqQuantizer q;
+  q.mean_ = training.column_means();
+  Matrix centered = training;
+  centered.center_columns(q.mean_);
+
+  // PCA: top `bits` eigenvectors of the covariance.
+  const EigenResult eig = symmetric_eigen(centered.covariance());
+  q.projection_ = Matrix(training.cols(), options.bits);
+  for (std::size_t i = 0; i < training.cols(); ++i) {
+    for (std::size_t j = 0; j < options.bits; ++j) {
+      q.projection_.at(i, j) = eig.vectors.at(i, j);
+    }
+  }
+
+  // Rotation refinement: R_{t+1} from the SVD of V^T B (Procrustes).
+  const Matrix v = centered * q.projection_;  // n x bits
+  util::Rng rng(options.seed);
+  q.rotation_ = Matrix::random_rotation(options.bits, rng);
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    const Matrix vr = v * q.rotation_;
+    Matrix b(vr.rows(), vr.cols());
+    for (std::size_t i = 0; i < vr.rows(); ++i) {
+      for (std::size_t j = 0; j < vr.cols(); ++j) {
+        b.at(i, j) = vr.at(i, j) >= 0.0 ? 1.0 : -1.0;
+      }
+    }
+    const SvdResult svd = svd_square(v.transpose() * b);
+    // R = U V_svd^T minimizes ||B - V R||_F for fixed B.
+    q.rotation_ = svd.u * svd.v.transpose();
+  }
+  return q;
+}
+
+util::BitVector ItqQuantizer::encode(std::span<const double> features) const {
+  if (features.size() != feature_dims()) {
+    throw std::invalid_argument("ItqQuantizer::encode: dims mismatch");
+  }
+  const std::size_t nbits = bits();
+  // code = sign((x - mean) * projection * rotation).
+  std::vector<double> projected(nbits, 0.0);
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    const double centered = features[i] - mean_[i];
+    if (centered == 0.0) {
+      continue;
+    }
+    for (std::size_t j = 0; j < nbits; ++j) {
+      projected[j] += centered * projection_.at(i, j);
+    }
+  }
+  util::BitVector code(nbits);
+  for (std::size_t j = 0; j < nbits; ++j) {
+    double rotated = 0.0;
+    for (std::size_t i = 0; i < nbits; ++i) {
+      rotated += projected[i] * rotation_.at(i, j);
+    }
+    code.set(j, rotated >= 0.0);
+  }
+  return code;
+}
+
+knn::BinaryDataset ItqQuantizer::encode_all(const Matrix& data) const {
+  knn::BinaryDataset out(data.rows(), bits());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    out.set_vector(r, encode(data.row(r)));
+  }
+  return out;
+}
+
+double ItqQuantizer::quantization_loss(const Matrix& data) const {
+  Matrix centered = data;
+  centered.center_columns(mean_);
+  const Matrix vr = centered * projection_ * rotation_;
+  double loss = 0.0;
+  for (std::size_t i = 0; i < vr.rows(); ++i) {
+    for (std::size_t j = 0; j < vr.cols(); ++j) {
+      const double b = vr.at(i, j) >= 0.0 ? 1.0 : -1.0;
+      const double diff = b - vr.at(i, j);
+      loss += diff * diff;
+    }
+  }
+  return loss / static_cast<double>(data.rows());
+}
+
+Matrix gaussian_cluster_features(std::size_t samples, std::size_t feature_dims,
+                                 std::size_t clusters, double center_scale,
+                                 double spread, std::uint64_t seed,
+                                 std::vector<std::uint32_t>* labels) {
+  if (clusters == 0) {
+    throw std::invalid_argument("gaussian_cluster_features: clusters == 0");
+  }
+  util::Rng rng(seed);
+  Matrix centers(clusters, feature_dims);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    for (std::size_t d = 0; d < feature_dims; ++d) {
+      centers.at(c, d) = center_scale * rng.gaussian();
+    }
+  }
+  if (labels != nullptr) {
+    labels->assign(samples, 0);
+  }
+  Matrix data(samples, feature_dims);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const std::size_t c = rng.below(clusters);
+    if (labels != nullptr) {
+      (*labels)[i] = static_cast<std::uint32_t>(c);
+    }
+    for (std::size_t d = 0; d < feature_dims; ++d) {
+      data.at(i, d) = centers.at(c, d) + spread * rng.gaussian();
+    }
+  }
+  return data;
+}
+
+}  // namespace apss::quant

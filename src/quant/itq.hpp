@@ -1,0 +1,62 @@
+#pragma once
+// Iterative Quantization (ITQ), Gong & Lazebnik CVPR'11 — the offline
+// binarization step the paper assumes (Sec. II-A): real-valued feature
+// vectors are PCA-projected to `bits` dimensions, then a rotation R is
+// refined to minimize the quantization loss ||B - V R||_F, and codes are
+// sign bits. APSS implements it fully so the end-to-end pipeline
+// (features -> binary codes -> AP search) runs without external tools.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "knn/dataset.hpp"
+#include "quant/matrix.hpp"
+#include "util/bitvector.hpp"
+
+namespace apss::quant {
+
+struct ItqOptions {
+  std::size_t bits = 64;       ///< output code length (= kNN dimensionality)
+  std::size_t iterations = 50; ///< rotation refinement steps
+  std::uint64_t seed = 1;
+};
+
+class ItqQuantizer {
+ public:
+  /// Learns mean, PCA projection, and rotation from training rows
+  /// (rows = samples, cols = feature dims). Requires rows >= 2 and
+  /// bits <= cols.
+  static ItqQuantizer fit(const Matrix& training, const ItqOptions& options);
+
+  /// Encodes one feature vector (length = feature dims).
+  util::BitVector encode(std::span<const double> features) const;
+
+  /// Encodes every row of `data` into a BinaryDataset.
+  knn::BinaryDataset encode_all(const Matrix& data) const;
+
+  std::size_t bits() const noexcept { return rotation_.cols(); }
+  std::size_t feature_dims() const noexcept { return projection_.rows(); }
+  const Matrix& rotation() const noexcept { return rotation_; }
+  const Matrix& projection() const noexcept { return projection_; }
+
+  /// Mean quantization loss ||sign(VR) - VR||_F^2 / n on the given data,
+  /// the objective ITQ minimizes (for tests and diagnostics).
+  double quantization_loss(const Matrix& data) const;
+
+ private:
+  ItqQuantizer() = default;
+
+  std::vector<double> mean_;
+  Matrix projection_;  ///< feature_dims x bits (top PCA directions)
+  Matrix rotation_;    ///< bits x bits orthonormal
+};
+
+/// Gaussian-mixture feature generator: `clusters` centers in feature_dims
+/// dimensions with the given spread; used by examples and recall tests.
+/// When `labels` is non-null it receives each sample's cluster id.
+Matrix gaussian_cluster_features(std::size_t samples, std::size_t feature_dims,
+                                 std::size_t clusters, double center_scale,
+                                 double spread, std::uint64_t seed,
+                                 std::vector<std::uint32_t>* labels = nullptr);
+
+}  // namespace apss::quant

@@ -1,0 +1,27 @@
+#pragma once
+// Minimal CSV emission so bench results can be post-processed (plotting,
+// regression tracking) without scraping the console tables.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace apss::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace apss::util

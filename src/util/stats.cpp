@@ -1,0 +1,52 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace apss::util {
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const double x : xs) {
+    total += x;
+  }
+  return total / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (const double x : xs) {
+    ss += (x - m) * (x - m);
+  }
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) {
+    throw std::invalid_argument("percentile: empty input");
+  }
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile: p must be in [0,100]");
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+}  // namespace apss::util

@@ -1,0 +1,116 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace apss::util {
+
+void TablePrinter::set_header(std::vector<std::string> header,
+                              std::vector<Align> aligns) {
+  header_ = std::move(header);
+  if (aligns.empty()) {
+    // Default: first column left (labels), the rest right (numbers).
+    aligns_.assign(header_.size(), Align::kRight);
+    if (!aligns_.empty()) {
+      aligns_[0] = Align::kLeft;
+    }
+  } else {
+    if (aligns.size() != header_.size()) {
+      throw std::invalid_argument("TablePrinter: aligns size != header size");
+    }
+    aligns_ = std::move(aligns);
+  }
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TablePrinter: row size != header size");
+  }
+  rows_.push_back({std::move(cells), false});
+}
+
+void TablePrinter::add_separator() { rows_.push_back({{}, true}); }
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto print_rule = [&] {
+    os << '+';
+    for (const std::size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      os << ' ';
+      if (aligns_[c] == Align::kRight) {
+        os << std::string(pad, ' ') << cells[c];
+      } else {
+        os << cells[c] << std::string(pad, ' ');
+      }
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) {
+    os << "== " << title_ << " ==\n";
+  }
+  print_rule();
+  print_cells(header_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      print_rule();
+    } else {
+      print_cells(row.cells);
+    }
+  }
+  print_rule();
+  for (const auto& note : notes_) {
+    os << "  note: " << note << '\n';
+  }
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+std::string TablePrinter::fmt(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string TablePrinter::fmt_auto(double value, int precision) {
+  const double mag = std::fabs(value);
+  std::ostringstream oss;
+  if (mag != 0.0 && (mag >= 1e6 || mag < 1e-3)) {
+    oss << std::scientific << std::setprecision(precision) << value;
+  } else {
+    oss << std::fixed << std::setprecision(precision) << value;
+  }
+  return oss.str();
+}
+
+}  // namespace apss::util

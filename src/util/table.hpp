@@ -1,0 +1,55 @@
+#pragma once
+// Console table rendering in the style of the paper's tables.
+//
+// Every bench prints a table whose rows mirror a table or figure from the
+// paper; TablePrinter handles alignment, units, and an optional title/notes
+// block so bench output is directly comparable to the publication.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace apss::util {
+
+enum class Align { kLeft, kRight };
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Defines the columns. Must be called before add_row.
+  void set_header(std::vector<std::string> header,
+                  std::vector<Align> aligns = {});
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator row.
+  void add_separator();
+
+  /// Free-form note lines printed under the table.
+  void add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+  void print(std::ostream& os) const;
+
+  /// Convenience: renders to a string.
+  std::string to_string() const;
+
+  static std::string fmt(double value, int precision = 2);
+  /// Formats like "1.23e+05" for very large/small magnitudes, else fixed.
+  static std::string fmt_auto(double value, int precision = 2);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace apss::util

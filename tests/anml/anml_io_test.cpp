@@ -1,0 +1,120 @@
+#include "anml/anml_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+namespace apss::anml {
+namespace {
+
+AutomataNetwork sample_network() {
+  AutomataNetwork net("sample & <net>");
+  const ElementId guard =
+      net.add_ste(SymbolSet::single(0x81), StartKind::kAllInput, "guard");
+  const ElementId star = net.add_ste(SymbolSet::all(), StartKind::kNone, "s");
+  const ElementId match = net.add_ste(SymbolSet::ternary(0x01, 0x81));
+  const ElementId counter = net.add_counter(4, CounterMode::kPulse, "ihd");
+  const ElementId gate = net.add_boolean(BooleanOp::kNor);
+  const ElementId report = net.add_reporting_ste(SymbolSet::all(), 42, "rep");
+  net.connect(guard, star);
+  net.connect(guard, match);
+  net.connect(star, star);
+  net.connect(match, counter, CounterPort::kCountEnable);
+  net.connect(star, counter, CounterPort::kReset);
+  net.connect(counter, report);
+  net.connect(star, gate);
+  net.connect(match, gate);
+  return net;
+}
+
+bool networks_equivalent(const AutomataNetwork& a, const AutomataNetwork& b) {
+  if (a.size() != b.size() || a.edges().size() != b.edges().size()) {
+    return false;
+  }
+  for (ElementId i = 0; i < a.size(); ++i) {
+    const Element& x = a.element(i);
+    const Element& y = b.element(i);
+    if (x.kind != y.kind || !(x.symbols == y.symbols) || x.start != y.start ||
+        x.threshold != y.threshold || x.mode != y.mode || x.op != y.op ||
+        x.reporting != y.reporting || x.report_code != y.report_code) {
+      return false;
+    }
+  }
+  // Edge MULTISETS must match: the writer groups edges under their source
+  // element, so document order differs from insertion order.
+  const auto sorted_edges = [](const AutomataNetwork& n) {
+    auto edges = n.edges();
+    std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
+      return std::tie(x.from, x.to, x.port) < std::tie(y.from, y.to, y.port);
+    });
+    return edges;
+  };
+  return sorted_edges(a) == sorted_edges(b);
+}
+
+TEST(AnmlIo, RoundTripPreservesStructure) {
+  const AutomataNetwork net = sample_network();
+  const std::string xml = to_anml(net);
+  const AutomataNetwork back = from_anml(xml);
+  EXPECT_EQ(back.name(), net.name());
+  EXPECT_TRUE(networks_equivalent(net, back));
+}
+
+TEST(AnmlIo, EmitsExpectedTags) {
+  const std::string xml = to_anml(sample_network());
+  EXPECT_NE(xml.find("<automata-network"), std::string::npos);
+  EXPECT_NE(xml.find("<state-transition-element"), std::string::npos);
+  EXPECT_NE(xml.find("<counter"), std::string::npos);
+  EXPECT_NE(xml.find("<boolean"), std::string::npos);
+  EXPECT_NE(xml.find("report-on-match reportcode=\"42\""), std::string::npos);
+  EXPECT_NE(xml.find("port=\"rst\""), std::string::npos);
+  // Name with XML metacharacters is escaped.
+  EXPECT_NE(xml.find("sample &amp; &lt;net&gt;"), std::string::npos);
+  EXPECT_EQ(xml.find("<net>"), std::string::npos);
+}
+
+TEST(AnmlIo, ToleratesCommentsAndWhitespace) {
+  const std::string xml =
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- a comment -->\n"
+      "<automata-network name=\"t\">\n"
+      "  <state-transition-element id=\"0\" symbol-set=\"*\" "
+      "start=\"all-input\"/>\n"
+      "</automata-network>\n";
+  const AutomataNetwork net = from_anml(xml);
+  EXPECT_EQ(net.size(), 1u);
+  EXPECT_EQ(net.element(0).start, StartKind::kAllInput);
+}
+
+TEST(AnmlIo, SelfClosingElementsHaveNoChildren) {
+  const std::string xml =
+      "<automata-network name=\"t\">"
+      "<counter id=\"0\" target=\"7\" mode=\"latch\"/>"
+      "</automata-network>";
+  const AutomataNetwork net = from_anml(xml);
+  EXPECT_EQ(net.size(), 1u);
+  EXPECT_EQ(net.element(0).threshold, 7u);
+  EXPECT_EQ(net.element(0).mode, CounterMode::kLatch);
+}
+
+TEST(AnmlIo, RejectsMalformedDocuments) {
+  EXPECT_THROW(from_anml("<bogus/>"), std::runtime_error);
+  EXPECT_THROW(from_anml("<automata-network name=\"t\">"
+                         "<state-transition-element id=\"0\"/>"
+                         "</automata-network>"),
+               std::runtime_error);  // missing symbol-set
+  EXPECT_THROW(from_anml("<automata-network name=\"t\">"
+                         "<counter id=\"0\" target=\"x\"/>"
+                         "</automata-network>"),
+               std::runtime_error);  // bad number
+  EXPECT_THROW(from_anml("<automata-network name=\"t\">"
+                         "<state-transition-element id=\"0\" symbol-set=\"*\">"
+                         "<activate-on-match element=\"9\"/>"
+                         "</state-transition-element>"
+                         "</automata-network>"),
+               std::runtime_error);  // dangling edge target
+}
+
+}  // namespace
+}  // namespace apss::anml

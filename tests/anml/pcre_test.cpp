@@ -1,0 +1,131 @@
+#include "anml/pcre.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apsim/simulator.hpp"
+
+namespace apss::anml {
+namespace {
+
+/// Compiles `pattern` and returns the cycles at which it reports on `text`
+/// (1-based; a report at cycle c means a match ENDING at position c).
+std::vector<std::uint64_t> match_ends(const std::string& pattern,
+                                      const std::string& text) {
+  AutomataNetwork net;
+  compile_pcre(net, pattern, 1);
+  EXPECT_TRUE(net.validate().empty()) << pattern;
+  apsim::Simulator sim(net);
+  const std::vector<std::uint8_t> bytes(text.begin(), text.end());
+  std::vector<std::uint64_t> ends;
+  for (const auto& e : sim.run(bytes)) {
+    ends.push_back(e.cycle);
+  }
+  return ends;
+}
+
+TEST(Pcre, LiteralSequence) {
+  EXPECT_EQ(match_ends("abc", "xabcabz"),
+            (std::vector<std::uint64_t>{4}));
+  EXPECT_EQ(match_ends("abc", "abcabc"),
+            (std::vector<std::uint64_t>{3, 6}));
+  EXPECT_TRUE(match_ends("abc", "ab").empty());
+}
+
+TEST(Pcre, Alternation) {
+  EXPECT_EQ(match_ends("cat|dog", "a cat and a dog"),
+            (std::vector<std::uint64_t>{5, 15}));
+}
+
+TEST(Pcre, StarAndPlus) {
+  // ab*c: 'b' may repeat zero or more times.
+  EXPECT_EQ(match_ends("ab*c", "ac abc abbbc"),
+            (std::vector<std::uint64_t>{2, 6, 12}));
+  // ab+c: at least one 'b'.
+  EXPECT_EQ(match_ends("ab+c", "ac abc abbbc"),
+            (std::vector<std::uint64_t>{6, 12}));
+}
+
+TEST(Pcre, Optional) {
+  EXPECT_EQ(match_ends("colou?r", "color colour"),
+            (std::vector<std::uint64_t>{5, 12}));
+}
+
+TEST(Pcre, DotMatchesAnySymbol) {
+  EXPECT_EQ(match_ends("a.c", "abc a7c axx"),
+            (std::vector<std::uint64_t>{3, 7}));
+}
+
+TEST(Pcre, CharacterClasses) {
+  EXPECT_EQ(match_ends("[0-9]+x", "12x 9x ax"),
+            (std::vector<std::uint64_t>{3, 6}));
+  EXPECT_EQ(match_ends("[^a]b", "ab xb"),
+            (std::vector<std::uint64_t>{5}));
+}
+
+TEST(Pcre, GroupsCompose) {
+  EXPECT_EQ(match_ends("(ab)+c", "ababc abc"),
+            (std::vector<std::uint64_t>{5, 9}));
+  EXPECT_EQ(match_ends("x(a|b)y", "xay xby xcy"),
+            (std::vector<std::uint64_t>{3, 7}));
+}
+
+TEST(Pcre, AnchoredMatchesOnlyAtStart) {
+  EXPECT_EQ(match_ends("^ab", "abab"), (std::vector<std::uint64_t>{2}));
+  EXPECT_TRUE(match_ends("^ab", "xab").empty());
+  // Unanchored: both occurrences.
+  EXPECT_EQ(match_ends("ab", "abab"), (std::vector<std::uint64_t>{2, 4}));
+}
+
+TEST(Pcre, EscapesAndHexSymbols) {
+  EXPECT_EQ(match_ends("a\\*b", "a*b ab"), (std::vector<std::uint64_t>{3}));
+  EXPECT_EQ(match_ends("\\x41\\x42", "zAB"), (std::vector<std::uint64_t>{3}));
+}
+
+TEST(Pcre, OverlappingMatchesAllReport) {
+  // 'aa' in "aaaa": ends at 2, 3, 4 (NFA semantics report every match).
+  EXPECT_EQ(match_ends("aa", "aaaa"), (std::vector<std::uint64_t>{2, 3, 4}));
+}
+
+TEST(Pcre, TernaryBitPatternAtoms) {
+  // The Sec. VI-B style bit-slice class as a PCRE class via SymbolSet.
+  AutomataNetwork net;
+  const auto result = compile_pcre(net, "[\\x01\\x03\\x05\\x07]", 9);
+  EXPECT_EQ(result.position_count, 1u);
+  apsim::Simulator sim(net);
+  const std::vector<std::uint8_t> stream = {0x00, 0x01, 0x02, 0x03};
+  EXPECT_EQ(sim.run(stream).size(), 2u);
+}
+
+TEST(Pcre, PositionCountIsGlushkov) {
+  AutomataNetwork net;
+  // 5 symbol positions regardless of operator structure.
+  const auto result = compile_pcre(net, "(a|b)*c(de)?", 1);
+  EXPECT_EQ(result.position_count, 5u);
+  EXPECT_EQ(net.stats().ste_count, 5u);
+}
+
+TEST(Pcre, RejectsMalformedPatterns) {
+  AutomataNetwork net;
+  EXPECT_THROW(compile_pcre(net, "", 1), std::invalid_argument);
+  EXPECT_THROW(compile_pcre(net, "(ab", 1), std::invalid_argument);
+  EXPECT_THROW(compile_pcre(net, "a)", 1), std::invalid_argument);
+  EXPECT_THROW(compile_pcre(net, "*a", 1), std::invalid_argument);
+  EXPECT_THROW(compile_pcre(net, "[ab", 1), std::invalid_argument);
+  EXPECT_THROW(compile_pcre(net, "a\\", 1), std::invalid_argument);
+  EXPECT_THROW(compile_pcre(net, "^", 1), std::invalid_argument);
+}
+
+TEST(Pcre, RejectsEmptyStringAcceptors) {
+  AutomataNetwork net;
+  EXPECT_THROW(compile_pcre(net, "a*", 1), std::invalid_argument);
+  EXPECT_THROW(compile_pcre(net, "a?", 1), std::invalid_argument);
+  EXPECT_THROW(compile_pcre(net, "(a|b?)", 1), std::invalid_argument);
+  // But nullable SUBexpressions are fine.
+  EXPECT_NO_THROW(compile_pcre(net, "a*b", 1));
+}
+
+}  // namespace
+}  // namespace apss::anml

@@ -1,0 +1,150 @@
+#include "anml/symbol_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace apss::anml {
+namespace {
+
+TEST(SymbolSet, EmptyAndAll) {
+  SymbolSet empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.count(), 0);
+  const SymbolSet all = SymbolSet::all();
+  EXPECT_TRUE(all.is_all());
+  EXPECT_EQ(all.count(), 256);
+  for (int s = 0; s < 256; ++s) {
+    EXPECT_TRUE(all.test(static_cast<std::uint8_t>(s)));
+  }
+}
+
+TEST(SymbolSet, SingleAndAllExcept) {
+  const SymbolSet s = SymbolSet::single(0x41);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_TRUE(s.test(0x41));
+  EXPECT_FALSE(s.test(0x42));
+
+  const SymbolSet not_eof = SymbolSet::all_except(0x82);
+  EXPECT_EQ(not_eof.count(), 255);
+  EXPECT_FALSE(not_eof.test(0x82));
+  EXPECT_TRUE(not_eof.test(0x81));
+}
+
+TEST(SymbolSet, TernaryMatchesMaskedBits) {
+  // 0b*******1: all odd symbols.
+  const SymbolSet odd = SymbolSet::ternary(0x01, 0x01);
+  EXPECT_EQ(odd.count(), 128);
+  EXPECT_TRUE(odd.test(0x01));
+  EXPECT_TRUE(odd.test(0xff));
+  EXPECT_FALSE(odd.test(0x00));
+  EXPECT_FALSE(odd.test(0xfe));
+
+  // Full mask = exact match.
+  const SymbolSet exact = SymbolSet::ternary(0xab, 0xff);
+  EXPECT_EQ(exact.count(), 1);
+  EXPECT_TRUE(exact.test(0xab));
+
+  // Empty mask = match everything.
+  EXPECT_TRUE(SymbolSet::ternary(0x00, 0x00).is_all());
+}
+
+TEST(SymbolSet, ParseStar) { EXPECT_TRUE(SymbolSet::parse("*").is_all()); }
+
+TEST(SymbolSet, ParseSingleCharacterAndEscape) {
+  EXPECT_TRUE(SymbolSet::parse("a").test('a'));
+  EXPECT_EQ(SymbolSet::parse("a").count(), 1);
+  EXPECT_TRUE(SymbolSet::parse("\\x41").test(0x41));
+  EXPECT_TRUE(SymbolSet::parse("\\*").test('*'));
+  EXPECT_EQ(SymbolSet::parse("\\*").count(), 1);
+}
+
+TEST(SymbolSet, ParseClassWithRangeAndNegation) {
+  const SymbolSet cls = SymbolSet::parse("[a-c]");
+  EXPECT_EQ(cls.count(), 3);
+  EXPECT_TRUE(cls.test('a'));
+  EXPECT_TRUE(cls.test('b'));
+  EXPECT_TRUE(cls.test('c'));
+  EXPECT_FALSE(cls.test('d'));
+
+  const SymbolSet neg = SymbolSet::parse("[^a]");
+  EXPECT_EQ(neg.count(), 255);
+  EXPECT_FALSE(neg.test('a'));
+
+  const SymbolSet multi = SymbolSet::parse("[ac\\x00]");
+  EXPECT_EQ(multi.count(), 3);
+  EXPECT_TRUE(multi.test(0));
+}
+
+TEST(SymbolSet, ParseBitPattern) {
+  const SymbolSet s = SymbolSet::parse("0b*******1");
+  EXPECT_EQ(s, SymbolSet::ternary(0x01, 0x01));
+  const SymbolSet hi = SymbolSet::parse("0b1*******");
+  EXPECT_EQ(hi, SymbolSet::ternary(0x80, 0x80));
+}
+
+TEST(SymbolSet, ParseRejectsMalformed) {
+  EXPECT_THROW(SymbolSet::parse(""), std::invalid_argument);
+  EXPECT_THROW(SymbolSet::parse("[ab"), std::invalid_argument);
+  EXPECT_THROW(SymbolSet::parse("ab"), std::invalid_argument);
+  EXPECT_THROW(SymbolSet::parse("0b***"), std::invalid_argument);
+  EXPECT_THROW(SymbolSet::parse("0b*******2"), std::invalid_argument);
+  EXPECT_THROW(SymbolSet::parse("[z-a]"), std::invalid_argument);
+  EXPECT_THROW(SymbolSet::parse("\\x4"), std::invalid_argument);
+}
+
+TEST(SymbolSet, SetOperations) {
+  const SymbolSet a = SymbolSet::parse("[a-m]");
+  const SymbolSet b = SymbolSet::parse("[h-z]");
+  EXPECT_EQ((a | b).count(), 26);
+  EXPECT_EQ((a & b).count(), 6);  // h..m
+  EXPECT_EQ((~a).count(), 256 - 13);
+}
+
+TEST(SymbolSet, PatternRoundTrip) {
+  const SymbolSet cases[] = {
+      SymbolSet::all(),
+      SymbolSet::single(0x00),
+      SymbolSet::single(0xff),
+      SymbolSet::parse("[a-f]"),
+      SymbolSet::ternary(0x01, 0x81),
+      SymbolSet::all_except(0x82),
+  };
+  for (const SymbolSet& s : cases) {
+    EXPECT_EQ(SymbolSet::parse(s.to_pattern()), s) << s.to_pattern();
+  }
+}
+
+TEST(SymbolSet, RequiredBitsFullAlphabet) {
+  // Over the full alphabet, matching a single symbol needs all 8 bits...
+  EXPECT_EQ(SymbolSet::single(0x01).required_bits(SymbolSet::all()), 8);
+  // ...but a ternary 1-bit slice needs exactly 1,
+  EXPECT_EQ(SymbolSet::ternary(0x01, 0x01).required_bits(SymbolSet::all()), 1);
+  // ...and match-all / match-none need none.
+  EXPECT_EQ(SymbolSet::all().required_bits(SymbolSet::all()), 0);
+  EXPECT_EQ(SymbolSet().required_bits(SymbolSet::all()), 0);
+}
+
+TEST(SymbolSet, RequiredBitsRestrictedAlphabet) {
+  // The kNN alphabet: data 0x00/0x01, SOF 0x81, EOF 0x82, FILL 0x83.
+  SymbolSet alphabet;
+  alphabet.insert(0x00);
+  alphabet.insert(0x01);
+  alphabet.insert(0x81);
+  alphabet.insert(0x82);
+  alphabet.insert(0x83);
+
+  // A matching state (bit 0 within data symbols) needs few bits: bit 0 and
+  // bit 7 separate {0x01} from {0x00, 0x81, 0x82, 0x83}... bit0=1 also held
+  // by 0x81/0x83 so bit 7 is required too -> 2 bits.
+  SymbolSet match1 = SymbolSet::ternary(0x01, 0x81);
+  EXPECT_EQ(match1.required_bits(alphabet), 2);
+
+  // The EOF state must separate 0x82 from 0x81/0x83 (bit 0) and from data
+  // (bit 1 or 7): 2 bits suffice.
+  EXPECT_EQ(SymbolSet::single(0x82).required_bits(alphabet), 2);
+
+  // Match-all still needs nothing.
+  EXPECT_EQ(SymbolSet::all().required_bits(alphabet), 0);
+}
+
+}  // namespace
+}  // namespace apss::anml

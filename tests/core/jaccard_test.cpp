@@ -1,0 +1,123 @@
+#include "core/jaccard.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apsim/simulator.hpp"
+#include "core/stream.hpp"
+#include "util/rng.hpp"
+
+namespace apss::core {
+namespace {
+
+TEST(JaccardMacro, RejectsEmptySets) {
+  anml::AutomataNetwork net;
+  EXPECT_THROW(append_jaccard_macro(net, util::BitVector(8), 0),
+               std::invalid_argument);
+  EXPECT_THROW(append_jaccard_macro(net, util::BitVector(0), 0),
+               std::invalid_argument);
+}
+
+TEST(JaccardMacro, ThresholdEqualsCardinality) {
+  anml::AutomataNetwork net;
+  const auto layout =
+      append_jaccard_macro(net, util::BitVector::parse("10110100"), 3);
+  EXPECT_EQ(layout.set_bits, 4u);
+  EXPECT_EQ(net.element(layout.counter).threshold, 4u);
+  EXPECT_TRUE(net.validate().empty());
+}
+
+TEST(ExactJaccard, KnownValues) {
+  const auto a = util::BitVector::parse("1100");
+  const auto b = util::BitVector::parse("0110");
+  EXPECT_DOUBLE_EQ(exact_jaccard(a.words(), b.words()), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(exact_jaccard(a.words(), a.words()), 1.0);
+  const util::BitVector zero(4);
+  EXPECT_DOUBLE_EQ(exact_jaccard(zero.words(), zero.words()), 0.0);
+}
+
+TEST(JaccardSearch, IntersectionCountsAreExactProperty) {
+  util::Rng rng(909);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t n = 6 + rng.below(14);
+    const std::size_t d = 6 + rng.below(40);
+    knn::BinaryDataset data(n, d);
+    knn::BinaryDataset queries(3, d);
+    // Dense-ish random sets, guaranteed nonempty.
+    for (std::size_t v = 0; v < n; ++v) {
+      for (std::size_t i = 0; i < d; ++i) {
+        data.set(v, i, rng.bernoulli(0.5));
+      }
+      data.set(v, rng.below(d), true);
+    }
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      for (std::size_t i = 0; i < d; ++i) {
+        queries.set(q, i, rng.bernoulli(0.5));
+      }
+      queries.set(q, rng.below(d), true);
+    }
+    const auto results = jaccard_search(data, queries, n);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      ASSERT_EQ(results[q].size(), n) << "every macro reports once";
+      for (const JaccardResult& r : results[q]) {
+        std::size_t expected_i = 0;
+        for (std::size_t i = 0; i < d; ++i) {
+          expected_i += data.get(r.id, i) && queries.get(q, i);
+        }
+        EXPECT_EQ(r.intersection, expected_i)
+            << "trial " << trial << " vector " << r.id;
+        EXPECT_NEAR(r.jaccard,
+                    exact_jaccard(data.row(r.id), queries.row(q)), 1e-12);
+      }
+      // Host-side rescoring sorted by descending Jaccard.
+      for (std::size_t i = 1; i < results[q].size(); ++i) {
+        EXPECT_GE(results[q][i - 1].jaccard, results[q][i].jaccard);
+      }
+    }
+  }
+}
+
+TEST(JaccardSearch, FullIntersectionReportsEarlyButDecodesExactly) {
+  // A query that is a superset of the encoded set: i = m, which crosses
+  // the threshold during the compute phase (before offset d+4).
+  knn::BinaryDataset data(1, 8);
+  data.set_vector(0, util::BitVector::parse("11000000"));
+  knn::BinaryDataset queries(1, 8);
+  queries.set_vector(0, util::BitVector::parse("11110000"));
+  const auto results = jaccard_search(data, queries, 1);
+  ASSERT_EQ(results[0].size(), 1u);
+  EXPECT_EQ(results[0][0].intersection, 2u);
+  EXPECT_DOUBLE_EQ(results[0][0].jaccard, 0.5);  // 2 / (2 + 4 - 2)
+}
+
+TEST(JaccardSearch, IdenticalSetsScoreOne) {
+  knn::BinaryDataset data(2, 12);
+  data.set_vector(0, util::BitVector::parse("101101001011"));
+  data.set_vector(1, util::BitVector::parse("010010110100"));
+  knn::BinaryDataset queries(1, 12);
+  queries.set_vector(0, data.vector(0));
+  const auto results = jaccard_search(data, queries, 2);
+  ASSERT_EQ(results[0].size(), 2u);
+  EXPECT_EQ(results[0][0].id, 0u);
+  EXPECT_DOUBLE_EQ(results[0][0].jaccard, 1.0);
+  EXPECT_EQ(results[0][1].id, 1u);
+  EXPECT_DOUBLE_EQ(results[0][1].jaccard, 0.0);  // disjoint complement
+}
+
+TEST(JaccardSearch, TopKTruncatesAfterRescoring) {
+  util::Rng rng(911);
+  knn::BinaryDataset data(10, 16);
+  for (std::size_t v = 0; v < 10; ++v) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      data.set(v, i, rng.bernoulli(0.4));
+    }
+    data.set(v, 0, true);
+  }
+  knn::BinaryDataset queries(1, 16);
+  queries.set_vector(0, data.vector(3));
+  const auto results = jaccard_search(data, queries, 3);
+  ASSERT_EQ(results[0].size(), 3u);
+  EXPECT_EQ(results[0][0].id, 3u);  // self-match wins
+}
+
+}  // namespace
+}  // namespace apss::core

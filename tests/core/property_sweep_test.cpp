@@ -1,0 +1,159 @@
+// Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
+// every end-to-end path — base engine, packed ladder, multiplexed slices,
+// counter-increment extension, interleaved frames — must return exact kNN
+// answers across a grid of dimensionalities, dataset sizes, k values, and
+// board-capacity splits.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/engine.hpp"
+#include "core/ext/counter_increment.hpp"
+#include "core/opt/interleaved.hpp"
+#include "core/opt/stream_multiplexing.hpp"
+#include "core/opt/vector_packing.hpp"
+#include "core/stream.hpp"
+#include "core/temporal_decode.hpp"
+#include "knn/exact.hpp"
+
+namespace apss::core {
+namespace {
+
+struct SweepParam {
+  std::size_t n;
+  std::size_t dims;
+  std::size_t k;
+  std::size_t vectors_per_config;  // 0 = single configuration
+
+  friend std::ostream& operator<<(std::ostream& os, const SweepParam& p) {
+    return os << "n" << p.n << "_d" << p.dims << "_k" << p.k << "_cap"
+              << p.vectors_per_config;
+  }
+};
+
+class EngineSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(EngineSweep, ApEngineReturnsExactKnn) {
+  const SweepParam p = GetParam();
+  const auto data = knn::BinaryDataset::uniform(p.n, p.dims, 7000 + p.n);
+  const auto queries = knn::BinaryDataset::uniform(5, p.dims, 7100 + p.dims);
+  EngineOptions opt;
+  opt.max_vectors_per_config = p.vectors_per_config;
+  ApKnnEngine engine(data, opt);
+  const auto results = engine.search(queries, p.k);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_TRUE(
+        knn::is_valid_knn_result(data, queries.row(q), p.k, results[q]))
+        << "query " << q;
+  }
+}
+
+TEST_P(EngineSweep, InterleavedDesignAgrees) {
+  const SweepParam p = GetParam();
+  if (p.dims < 2) {
+    GTEST_SKIP();
+  }
+  const auto data = knn::BinaryDataset::uniform(p.n, p.dims, 7200 + p.n);
+  const auto queries = knn::BinaryDataset::uniform(4, p.dims, 7300 + p.dims);
+  const auto results = interleaved_knn_search(data, queries, p.k);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_TRUE(
+        knn::is_valid_knn_result(data, queries.row(q), p.k, results[q]))
+        << "query " << q;
+  }
+}
+
+TEST_P(EngineSweep, CounterIncrementDesignAgrees) {
+  const SweepParam p = GetParam();
+  const auto data = knn::BinaryDataset::uniform(p.n, p.dims, 7400 + p.n);
+  const auto queries = knn::BinaryDataset::uniform(4, p.dims, 7500 + p.dims);
+  const auto results = ci_knn_search(data, queries, p.k);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_TRUE(
+        knn::is_valid_knn_result(data, queries.row(q), p.k, results[q]))
+        << "query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineSweep,
+    ::testing::Values(
+        SweepParam{1, 4, 1, 0}, SweepParam{3, 7, 2, 0},
+        SweepParam{16, 8, 3, 5}, SweepParam{25, 16, 4, 0},
+        SweepParam{40, 24, 8, 12}, SweepParam{33, 33, 5, 9},
+        SweepParam{48, 64, 6, 0}, SweepParam{20, 65, 20, 7},
+        SweepParam{12, 128, 2, 4}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::ostringstream oss;
+      oss << info.param;
+      return oss.str();
+    });
+
+// --- Packing equivalence across group sizes ----------------------------------
+
+class PackingSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, CollectorStyle>> {
+};
+
+TEST_P(PackingSweep, PackedReportsEqualUnpackedReports) {
+  const auto [group_size, style] = GetParam();
+  const std::size_t dims = 20;
+  const auto data = knn::BinaryDataset::uniform(11, dims, 8000 + group_size);
+  const auto queries = knn::BinaryDataset::uniform(3, dims, 8100);
+
+  anml::AutomataNetwork unpacked;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    append_hamming_macro(unpacked, data.vector(i),
+                         static_cast<std::uint32_t>(i));
+  }
+  anml::AutomataNetwork packed;
+  VectorPackingOptions opt;
+  opt.group_size = group_size;
+  opt.style = style;
+  build_packed_network(packed, data, opt);
+
+  const StreamSpec spec{dims, 1};
+  apsim::Simulator su(unpacked);
+  apsim::Simulator sp(packed);
+  const SymbolStreamEncoder enc(spec);
+  const auto eu = su.run(enc.encode_batch(queries));
+  const auto ep = sp.run(enc.encode_batch(queries));
+  const TemporalSortDecoder decoder(spec, queries.size());
+  EXPECT_EQ(decoder.decode(eu), decoder.decode(ep));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PackingSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 8u, 11u),
+                       ::testing::Values(CollectorStyle::kFlat,
+                                         CollectorStyle::kTree)),
+    [](const ::testing::TestParamInfo<std::tuple<std::size_t, CollectorStyle>>&
+           info) {
+      return "g" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == CollectorStyle::kFlat ? "_flat"
+                                                               : "_tree");
+    });
+
+// --- Multiplexing equivalence across slice counts -----------------------------
+
+class MuxSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MuxSweep, EverySliceCountReturnsExactKnn) {
+  const std::size_t slices = GetParam();
+  const auto data = knn::BinaryDataset::uniform(18, 12, 8200 + slices);
+  const auto queries =
+      knn::BinaryDataset::uniform(2 * slices + 1, 12, 8300);
+  const MultiplexedKnn mux(data, slices);
+  const auto results = mux.search(queries, 3);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_TRUE(knn::is_valid_knn_result(data, queries.row(q), 3, results[q]))
+        << "slices=" << slices << " query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MuxSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 7u));
+
+}  // namespace
+}  // namespace apss::core

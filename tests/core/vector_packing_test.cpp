@@ -1,0 +1,173 @@
+#include "core/opt/vector_packing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apsim/placement.hpp"
+#include "apsim/simulator.hpp"
+#include "core/stream.hpp"
+#include "core/temporal_decode.hpp"
+#include "util/rng.hpp"
+
+namespace apss::core {
+namespace {
+
+TEST(VectorPacking, Fig5LadderSharesCommonValueStates) {
+  // The paper's Fig. 5: vectors {1,1,0,1} and {1,0,0,0}.
+  knn::BinaryDataset data(2, 4);
+  data.set_vector(0, util::BitVector::parse("1101"));
+  data.set_vector(1, util::BitVector::parse("1000"));
+  anml::AutomataNetwork net;
+  VectorPackingOptions opt;
+  opt.group_size = 2;
+  const PackedGroupLayout layout = append_packed_group(net, data, 0, 2, opt);
+
+  // Dim 0: both vectors have '1' -> one shared state. Dims 1 and 3 differ
+  // -> two states each. Dim 2: both '0' -> one state.
+  EXPECT_EQ(layout.value_states[0].size(), 1u);
+  EXPECT_EQ(layout.value_states[1].size(), 2u);
+  EXPECT_EQ(layout.value_states[2].size(), 1u);
+  EXPECT_EQ(layout.value_states[3].size(), 2u);
+  EXPECT_EQ(layout.counters.size(), 2u);
+  EXPECT_EQ(layout.reports.size(), 2u);
+  EXPECT_TRUE(net.validate().empty());
+}
+
+/// Runs packed and unpacked networks over the same queries and compares
+/// decoded results.
+void expect_packed_matches_unpacked(const knn::BinaryDataset& data,
+                                    const knn::BinaryDataset& queries,
+                                    const VectorPackingOptions& opt) {
+  anml::AutomataNetwork unpacked;
+  std::size_t levels = 1;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    levels = append_hamming_macro(unpacked, data.vector(i),
+                                  static_cast<std::uint32_t>(i), opt.macro)
+                 .collector_levels;
+  }
+  anml::AutomataNetwork packed;
+  const auto layouts = build_packed_network(packed, data, opt);
+  ASSERT_EQ(layouts.front().collector_levels,
+            opt.style == CollectorStyle::kFlat ? 1u : levels);
+
+  const StreamSpec unpacked_spec{data.dims(), levels};
+  const StreamSpec packed_spec{data.dims(), layouts.front().collector_levels};
+
+  apsim::Simulator su(unpacked);
+  apsim::Simulator sp(packed);
+  const auto events_u =
+      su.run(SymbolStreamEncoder(unpacked_spec).encode_batch(queries));
+  const auto events_p =
+      sp.run(SymbolStreamEncoder(packed_spec).encode_batch(queries));
+
+  const auto results_u =
+      TemporalSortDecoder(unpacked_spec, queries.size()).decode(events_u);
+  const auto results_p =
+      TemporalSortDecoder(packed_spec, queries.size()).decode(events_p);
+  ASSERT_EQ(results_u.size(), results_p.size());
+  for (std::size_t q = 0; q < results_u.size(); ++q) {
+    EXPECT_EQ(results_u[q], results_p[q]) << "query " << q;
+  }
+}
+
+TEST(VectorPacking, FlatPackingIsSemanticallyEquivalent) {
+  util::Rng rng(500);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n = 4 + rng.below(12);
+    const std::size_t d = 4 + rng.below(28);
+    const auto data = knn::BinaryDataset::uniform(n, d, rng.next());
+    const auto queries = knn::BinaryDataset::uniform(4, d, rng.next());
+    VectorPackingOptions opt;
+    opt.group_size = 1 + rng.below(6);
+    expect_packed_matches_unpacked(data, queries, opt);
+  }
+}
+
+TEST(VectorPacking, TreePackingIsSemanticallyEquivalent) {
+  util::Rng rng(501);
+  VectorPackingOptions opt;
+  opt.style = CollectorStyle::kTree;
+  opt.group_size = 4;
+  const auto data = knn::BinaryDataset::uniform(8, 40, rng.next());
+  const auto queries = knn::BinaryDataset::uniform(3, 40, rng.next());
+  expect_packed_matches_unpacked(data, queries, opt);
+}
+
+TEST(VectorPacking, SavingsGrowWithGroupSize) {
+  const auto data = knn::BinaryDataset::uniform(16, 64, 502);
+  double prev_ratio = 1.0;
+  for (const std::size_t g : {2u, 4u, 8u}) {
+    VectorPackingOptions opt;
+    opt.group_size = g;
+    const PackingSavings s = packing_savings(data, opt);
+    EXPECT_GT(s.ratio(), prev_ratio) << "group size " << g;
+    prev_ratio = s.ratio();
+  }
+}
+
+TEST(VectorPacking, SavingsNearPaperForGroupsOf4) {
+  // Table VIII models packing into groups of 4 as ~2.9-3.3x fewer states.
+  const auto data = knn::BinaryDataset::uniform(64, 128, 503);
+  VectorPackingOptions opt;
+  opt.group_size = 4;
+  const PackingSavings s = packing_savings(data, opt);
+  EXPECT_GT(s.ratio(), 2.2);
+  EXPECT_LT(s.ratio(), 3.6);
+}
+
+TEST(VectorPacking, FlatCollectorsFailRoutingAtHighDims) {
+  // The paper's Sec. VI-A finding: packed designs place but only partially
+  // route for d in {64, 128}; d=32 is fine. Flat collectors have fan-in d.
+  for (const std::size_t d : {32u, 64u, 128u}) {
+    const auto data = knn::BinaryDataset::uniform(8, d, 504);
+    anml::AutomataNetwork net;
+    VectorPackingOptions opt;
+    opt.group_size = 8;
+    build_packed_network(net, data, opt);
+    const auto result = apsim::place(net, apsim::DeviceGeometry::one_rank());
+    EXPECT_TRUE(result.placed) << d;
+    if (d <= 32) {
+      EXPECT_TRUE(result.routed) << d;
+    } else {
+      EXPECT_FALSE(result.routed) << d;
+    }
+  }
+}
+
+TEST(VectorPacking, TreeCollectorsRestoreRoutability) {
+  const auto data = knn::BinaryDataset::uniform(8, 128, 505);
+  anml::AutomataNetwork net;
+  VectorPackingOptions opt;
+  opt.group_size = 8;
+  opt.style = CollectorStyle::kTree;
+  build_packed_network(net, data, opt);
+  const auto result = apsim::place(net, apsim::DeviceGeometry::one_rank());
+  EXPECT_TRUE(result.placed);
+  EXPECT_TRUE(result.routed);
+}
+
+TEST(VectorPacking, RejectsBadArguments) {
+  const auto data = knn::BinaryDataset::uniform(4, 8, 506);
+  anml::AutomataNetwork net;
+  EXPECT_THROW(append_packed_group(net, data, 0, 0, {}),
+               std::invalid_argument);
+  EXPECT_THROW(append_packed_group(net, data, 2, 5, {}),
+               std::invalid_argument);
+  VectorPackingOptions zero;
+  zero.group_size = 0;
+  EXPECT_THROW(build_packed_network(net, data, zero), std::invalid_argument);
+}
+
+TEST(VectorPacking, LastGroupMayBeSmaller) {
+  const auto data = knn::BinaryDataset::uniform(10, 8, 507);
+  anml::AutomataNetwork net;
+  VectorPackingOptions opt;
+  opt.group_size = 4;
+  const auto layouts = build_packed_network(net, data, opt);
+  ASSERT_EQ(layouts.size(), 3u);
+  EXPECT_EQ(layouts[2].counters.size(), 2u);
+}
+
+}  // namespace
+}  // namespace apss::core

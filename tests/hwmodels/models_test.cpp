@@ -1,0 +1,81 @@
+// Platform catalog + GPU model calibration checks against the paper's
+// reported values.
+
+#include <gtest/gtest.h>
+
+#include "hwmodels/gpu_model.hpp"
+#include "hwmodels/platforms.hpp"
+
+namespace apss::hwmodels {
+namespace {
+
+TEST(Platforms, CatalogMatchesTableI) {
+  const auto catalog = platform_catalog();
+  ASSERT_EQ(catalog.size(), 6u);
+  const Platform& xeon = platform("Xeon E5-2620");
+  EXPECT_EQ(xeon.cores, 6);
+  EXPECT_EQ(xeon.process_nm, 32);
+  EXPECT_DOUBLE_EQ(xeon.clock_mhz, 2000.0);
+  const Platform& ap = platform("Automata Processor");
+  EXPECT_EQ(ap.process_nm, 50);
+  EXPECT_DOUBLE_EQ(ap.clock_mhz, 133.0);
+  EXPECT_THROW(platform("TPU"), std::out_of_range);
+}
+
+TEST(Platforms, PowerConstantsReproducePaperEnergyRows) {
+  // Table III SIFT small: Xeon 37.50 ms and 2081 q/J must be consistent
+  // with the calibrated 52.5 W.
+  const double qpj =
+      queries_per_joule(4096, 37.50e-3, platform("Xeon E5-2620").dynamic_power_w);
+  EXPECT_NEAR(qpj, 2081, 50);
+
+  const double arm_qpj =
+      queries_per_joule(4096, 191.44e-3, platform("Cortex A15").dynamic_power_w);
+  EXPECT_NEAR(arm_qpj, 2674, 60);
+
+  const double kintex_qpj =
+      queries_per_joule(4096, 3.78e-3, platform("Kintex-7").dynamic_power_w);
+  EXPECT_NEAR(kintex_qpj, 289607, 8000);
+}
+
+TEST(Platforms, ScanRateReproducesPaperCpuRows) {
+  // rate calibrated on SIFT: check it predicts the OTHER workloads' rows.
+  const Platform& xeon = platform("Xeon E5-2620");
+  const double word_ms =
+      4096.0 * 1024 * 64 / xeon.scan_bits_per_second * 1e3;
+  EXPECT_NEAR(word_ms, 23.33, 6.0);  // paper: 23.33 ms
+  const double tag_ms = 4096.0 * 512 * 256 / xeon.scan_bits_per_second * 1e3;
+  EXPECT_NEAR(tag_ms, 33.97, 8.0);  // paper: 33.97 ms
+}
+
+TEST(Platforms, ApPowerByWorkload) {
+  EXPECT_DOUBLE_EQ(ap_dynamic_power_w(64), 18.8);
+  EXPECT_DOUBLE_EQ(ap_dynamic_power_w(128), 23.3);
+  EXPECT_DOUBLE_EQ(ap_dynamic_power_w(256), 23.3);
+}
+
+TEST(Platforms, QueriesPerJouleRejectsBadInput) {
+  EXPECT_THROW(queries_per_joule(10, 0.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(queries_per_joule(10, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(GpuModel, TitanXLargeDatasetIsLaunchBound) {
+  const GpuModel titan = GpuModel::titan_x();
+  // Table IV: ~0.99 / 1.02 / 1.03 s across workloads — nearly flat.
+  const double word = titan.seconds(4096, 1u << 20, 64);
+  const double sift = titan.seconds(4096, 1u << 20, 128);
+  const double tag = titan.seconds(4096, 1u << 20, 256);
+  EXPECT_NEAR(word, 0.99, 0.1);
+  EXPECT_NEAR(sift, 1.02, 0.1);
+  EXPECT_NEAR(tag, 1.03, 0.12);
+  // Flatness: doubling d changes time by < 5%.
+  EXPECT_LT(tag / word, 1.05);
+}
+
+TEST(GpuModel, JetsonLargeDataset) {
+  const GpuModel jetson = GpuModel::jetson_tk1();
+  EXPECT_NEAR(jetson.seconds(4096, 1u << 20, 128), 16.73, 1.0);
+}
+
+}  // namespace
+}  // namespace apss::hwmodels

@@ -1,0 +1,215 @@
+#include "index/index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "index/kd_tree.hpp"
+#include "index/kmeans_tree.hpp"
+#include "index/lsh.hpp"
+
+namespace apss::index {
+namespace {
+
+knn::BinaryDataset clustered(std::size_t n = 600, std::size_t d = 64) {
+  return knn::BinaryDataset::clustered(n, d, 6, 0.03, 42);
+}
+
+// --- Randomized kd-trees -----------------------------------------------------
+
+TEST(KdForest, BuildsRequestedTrees) {
+  const auto data = clustered();
+  KdTreeOptions opt;
+  opt.trees = 3;
+  opt.leaf_size = 64;
+  const RandomizedKdForest forest(data, opt);
+  EXPECT_EQ(forest.tree_count(), 3u);
+  EXPECT_GT(forest.bucket_count(), 3u);
+  EXPECT_LE(forest.max_bucket_size(), 64u);
+}
+
+TEST(KdForest, CandidatesComeFromOneBucketPerTree) {
+  const auto data = clustered();
+  KdTreeOptions opt;
+  opt.trees = 4;
+  opt.leaf_size = 64;
+  const RandomizedKdForest forest(data, opt);
+  TraversalStats stats;
+  const auto ids = forest.candidates(data.row(0), stats);
+  EXPECT_EQ(stats.buckets_probed, 4u);
+  EXPECT_GT(stats.nodes_visited, 0u);
+  EXPECT_EQ(stats.distance_computations, 0u);  // kd traversal is bit tests
+  EXPECT_FALSE(ids.empty());
+  EXPECT_LE(ids.size(), 4u * 64u);
+  // No duplicates.
+  const std::set<std::uint32_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), ids.size());
+}
+
+TEST(KdForest, SelfQueryFindsSelf) {
+  const auto data = clustered(300, 32);
+  KdTreeOptions opt;
+  opt.leaf_size = 32;
+  const RandomizedKdForest forest(data, opt);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto ids = forest.candidates(data.row(i));
+    EXPECT_NE(std::find(ids.begin(), ids.end(), i), ids.end()) << i;
+  }
+}
+
+TEST(KdForest, HighRecallOnClusteredData) {
+  const auto data = clustered();
+  const auto queries = knn::perturbed_queries(data, 32, 0.01, 7);
+  KdTreeOptions opt;
+  opt.trees = 4;
+  opt.leaf_size = 128;
+  const RandomizedKdForest forest(data, opt);
+  EXPECT_GT(index_recall(forest, data, queries, 4), 0.7);
+}
+
+TEST(KdForest, RejectsBadInput) {
+  EXPECT_THROW(RandomizedKdForest(knn::BinaryDataset(), {}),
+               std::invalid_argument);
+  const auto data = clustered(10, 16);
+  KdTreeOptions zero;
+  zero.trees = 0;
+  EXPECT_THROW(RandomizedKdForest(data, zero), std::invalid_argument);
+}
+
+// --- Hierarchical k-means ----------------------------------------------------
+
+TEST(KMeansTree, PartitionsIntoLeafBuckets) {
+  const auto data = clustered();
+  KMeansTreeOptions opt;
+  opt.branching = 4;
+  opt.leaf_size = 64;
+  const HierarchicalKMeansTree tree(data, opt);
+  EXPECT_GT(tree.bucket_count(), 1u);
+  EXPECT_GT(tree.depth(), 0u);
+}
+
+TEST(KMeansTree, TraversalCostsDistanceComputations) {
+  // Sec. II-A: "traversing the k-means index requires a distance
+  // calculation at each node".
+  const auto data = clustered();
+  KMeansTreeOptions opt;
+  opt.branching = 4;
+  opt.leaf_size = 64;
+  const HierarchicalKMeansTree tree(data, opt);
+  TraversalStats stats;
+  const auto ids = tree.candidates(data.row(5), stats);
+  EXPECT_EQ(stats.buckets_probed, 1u);  // one bucket per traversal
+  EXPECT_GT(stats.nodes_visited, 0u);
+  EXPECT_GE(stats.distance_computations, stats.nodes_visited);
+  EXPECT_FALSE(ids.empty());
+}
+
+TEST(KMeansTree, HighRecallOnClusteredData) {
+  const auto data = clustered();
+  const auto queries = knn::perturbed_queries(data, 32, 0.01, 8);
+  KMeansTreeOptions opt;
+  opt.branching = 6;
+  opt.leaf_size = 128;
+  const HierarchicalKMeansTree tree(data, opt);
+  EXPECT_GT(index_recall(tree, data, queries, 4), 0.6);
+}
+
+TEST(KMeansTree, RejectsBadOptions) {
+  const auto data = clustered(20, 16);
+  KMeansTreeOptions bad;
+  bad.branching = 1;
+  EXPECT_THROW(HierarchicalKMeansTree(data, bad), std::invalid_argument);
+}
+
+// --- LSH ----------------------------------------------------------------------
+
+TEST(Lsh, BucketsPartitionPerTable) {
+  const auto data = clustered();
+  LshOptions opt;
+  opt.tables = 4;
+  opt.hash_bits = 6;
+  const LshIndex lsh(data, opt);
+  EXPECT_GT(lsh.bucket_count(), 4u);
+  EXPECT_LE(lsh.max_bucket_size(), data.size());
+}
+
+TEST(Lsh, SelfQueryFindsSelf) {
+  const auto data = clustered(200, 32);
+  LshOptions opt;
+  opt.hash_bits = 5;
+  const LshIndex lsh(data, opt);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto ids = lsh.candidates(data.row(i));
+    EXPECT_NE(std::find(ids.begin(), ids.end(), i), ids.end()) << i;
+  }
+}
+
+TEST(Lsh, MultiProbeWidensTheSearch) {
+  const auto data = clustered();
+  LshOptions opt;
+  opt.tables = 2;
+  opt.hash_bits = 8;
+  const LshIndex plain(data, opt);
+  opt.multi_probe = true;
+  const LshIndex mp(data, opt);
+  EXPECT_EQ(plain.name(), "lsh");
+  EXPECT_EQ(mp.name(), "mplsh");
+
+  const auto queries = knn::perturbed_queries(data, 16, 0.05, 9);
+  TraversalStats plain_stats, mp_stats;
+  std::size_t plain_total = 0, mp_total = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    plain_total += plain.candidates(queries.row(q), plain_stats).size();
+    mp_total += mp.candidates(queries.row(q), mp_stats).size();
+  }
+  EXPECT_GT(mp_stats.buckets_probed, plain_stats.buckets_probed);
+  EXPECT_GE(mp_total, plain_total);
+  EXPECT_GE(index_recall(mp, data, queries, 4),
+            index_recall(plain, data, queries, 4) - 1e-12);
+}
+
+TEST(Lsh, RejectsBadOptions) {
+  const auto data = clustered(20, 16);
+  LshOptions bad;
+  bad.hash_bits = 0;
+  EXPECT_THROW(LshIndex(data, bad), std::invalid_argument);
+  bad.hash_bits = 32;  // > dims (16)
+  EXPECT_THROW(LshIndex(data, bad), std::invalid_argument);
+}
+
+// --- approximate_knn shared path ----------------------------------------------
+
+TEST(ApproximateKnn, ResultsAreSortedAndTruthful) {
+  const auto data = clustered();
+  KdTreeOptions opt;
+  opt.leaf_size = 128;
+  const RandomizedKdForest forest(data, opt);
+  const auto queries = knn::perturbed_queries(data, 8, 0.02, 10);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    TraversalStats stats;
+    const auto result = approximate_knn(forest, data, queries.row(q), 5, &stats);
+    EXPECT_LE(result.size(), 5u);
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      EXPECT_EQ(result[i].distance,
+                util::hamming_distance(data.row(result[i].id), queries.row(q)));
+      if (i > 0) {
+        EXPECT_LE(result[i - 1].distance, result[i].distance);
+      }
+    }
+    EXPECT_GT(stats.buckets_probed, 0u);
+  }
+}
+
+TEST(IndexRecall, PerfectForExhaustiveBucket) {
+  // leaf_size >= n makes the "index" a single bucket: recall must be 1.
+  const auto data = clustered(100, 32);
+  KdTreeOptions opt;
+  opt.leaf_size = 1000;
+  const RandomizedKdForest forest(data, opt);
+  const auto queries = knn::perturbed_queries(data, 8, 0.05, 11);
+  EXPECT_DOUBLE_EQ(index_recall(forest, data, queries, 3), 1.0);
+}
+
+}  // namespace
+}  // namespace apss::index

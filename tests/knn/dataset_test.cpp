@@ -1,0 +1,125 @@
+#include "knn/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace apss::knn {
+namespace {
+
+TEST(BinaryDataset, ConstructAndAccess) {
+  BinaryDataset d(4, 70);
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.dims(), 70u);
+  EXPECT_EQ(d.word_stride(), 2u);
+  EXPECT_FALSE(d.get(2, 65));
+  d.set(2, 65, true);
+  EXPECT_TRUE(d.get(2, 65));
+  EXPECT_FALSE(d.get(1, 65));
+  EXPECT_FALSE(d.get(3, 65));
+}
+
+TEST(BinaryDataset, VectorRoundTrip) {
+  BinaryDataset d(2, 12);
+  const util::BitVector v = util::BitVector::parse("101100111000");
+  d.set_vector(1, v);
+  EXPECT_EQ(d.vector(1), v);
+  EXPECT_EQ(d.vector(0).popcount(), 0u);
+}
+
+TEST(BinaryDataset, PushBackGrows) {
+  BinaryDataset d;
+  d.push_back(util::BitVector::parse("1010"));
+  d.push_back(util::BitVector::parse("0101"));
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.dims(), 4u);
+  EXPECT_THROW(d.push_back(util::BitVector::parse("11")), std::invalid_argument);
+}
+
+TEST(BinaryDataset, SubsetExtractsRows) {
+  const BinaryDataset d = BinaryDataset::uniform(10, 64, 1);
+  const std::vector<std::uint32_t> ids = {7, 2, 9};
+  const BinaryDataset s = d.subset(ids);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.vector(0), d.vector(7));
+  EXPECT_EQ(s.vector(1), d.vector(2));
+  EXPECT_EQ(s.vector(2), d.vector(9));
+}
+
+TEST(BinaryDataset, UniformIsDeterministicAndBalanced) {
+  const BinaryDataset a = BinaryDataset::uniform(100, 128, 7);
+  const BinaryDataset b = BinaryDataset::uniform(100, 128, 7);
+  const BinaryDataset c = BinaryDataset::uniform(100, 128, 8);
+  EXPECT_EQ(a.vector(50), b.vector(50));
+  EXPECT_NE(a.vector(50), c.vector(50));
+  // Bit balance: expect ~50% ones overall.
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ones += a.vector(i).popcount();
+  }
+  const double frac = static_cast<double>(ones) / (100.0 * 128.0);
+  EXPECT_NEAR(frac, 0.5, 0.05);
+}
+
+TEST(BinaryDataset, UniformMasksTailBits) {
+  const BinaryDataset d = BinaryDataset::uniform(50, 70, 3);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto row = d.row(i);
+    EXPECT_EQ(row[1] >> 6, 0u) << "tail bits beyond dim 70 must be zero";
+  }
+}
+
+TEST(BinaryDataset, ClusteredHasTightClusters) {
+  const BinaryDataset d = BinaryDataset::clustered(200, 128, 4, 0.02, 11);
+  // Vectors are near one of 4 centers: nearest-neighbor distances within
+  // the dataset should be far below the ~64 expected for uniform data.
+  std::size_t close_pairs = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    std::size_t best = 128;
+    for (std::size_t j = 0; j < d.size(); ++j) {
+      if (j == i) {
+        continue;
+      }
+      best = std::min(best, util::hamming_distance(d.row(i), d.row(j)));
+    }
+    close_pairs += best < 20;
+  }
+  EXPECT_GT(close_pairs, 45u);
+}
+
+TEST(BinaryDataset, SaveLoadRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "apss_dataset_test.bin")
+          .string();
+  const BinaryDataset d = BinaryDataset::uniform(33, 100, 5);
+  d.save(path);
+  const BinaryDataset back = BinaryDataset::load(path);
+  ASSERT_EQ(back.size(), d.size());
+  ASSERT_EQ(back.dims(), d.dims());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(back.vector(i), d.vector(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryDataset, LoadRejectsMissingFile) {
+  EXPECT_THROW(BinaryDataset::load("/nonexistent/apss.bin"),
+               std::runtime_error);
+}
+
+TEST(PerturbedQueries, StayNearSources) {
+  const BinaryDataset d = BinaryDataset::uniform(64, 128, 9);
+  const BinaryDataset q = perturbed_queries(d, 32, 0.05, 10);
+  ASSERT_EQ(q.size(), 32u);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    std::size_t best = 128;
+    for (std::size_t j = 0; j < d.size(); ++j) {
+      best = std::min(best, util::hamming_distance(q.row(i), d.row(j)));
+    }
+    EXPECT_LT(best, 30u);
+  }
+}
+
+}  // namespace
+}  // namespace apss::knn

@@ -1,0 +1,102 @@
+// Table V indexing-model checks: exact linear-row math and the qualitative
+// shape for indexed techniques.
+
+#include <gtest/gtest.h>
+
+#include "perf/indexing_model.hpp"
+
+namespace apss::perf {
+namespace {
+
+IndexingScenario tagspace_scenario() {
+  IndexingScenario s;
+  s.workload = workload("kNN-TagSpace");
+  return s;
+}
+
+TEST(IndexingModel, LinearRowReproducesTableIVMath) {
+  const IndexingScenario s = tagspace_scenario();
+  IndexingTechniqueModel linear;
+  linear.name = "Linear (No Index)";
+  linear.candidates_per_query = static_cast<double>(s.n);
+  linear.buckets_per_query = 2048.0;
+  linear.distinct_buckets_per_batch = 2048.0;
+
+  const auto gen1 = evaluate_indexing(s, linear, apsim::DeviceConfig::gen1());
+  // AP side must equal the Table IV TagSpace rows: 108.31 s / 17.07 s.
+  EXPECT_NEAR(gen1.ap_seconds, 108.31, 1.5);
+  const auto gen2 = evaluate_indexing(s, linear, apsim::DeviceConfig::gen2());
+  EXPECT_NEAR(gen2.ap_seconds, 17.07, 0.5);
+  // Single-thread ARM linear scan ~ 4 x 382.82 s (Table IV quad-core row).
+  EXPECT_NEAR(gen1.cpu_seconds, 4.0 * 382.82, 40.0);
+  // Speedups: paper reports 16x / 91x.
+  EXPECT_NEAR(gen1.speedup, 14.2, 1.5);
+  EXPECT_NEAR(gen2.speedup, 90.0, 5.0);
+}
+
+TEST(IndexingModel, MeasuredTechniquesQualitativeShape) {
+  const IndexingScenario s = tagspace_scenario();
+  const auto techniques = measure_techniques(s, /*sample_n=*/1u << 13, 7);
+  ASSERT_EQ(techniques.size(), 4u);
+  EXPECT_EQ(techniques[0].name, "Linear (No Index)");
+  EXPECT_EQ(techniques[1].name, "KD-Tree");
+  EXPECT_EQ(techniques[2].name, "K-Means");
+  EXPECT_EQ(techniques[3].name, "MPLSH");
+
+  for (const auto& t : techniques) {
+    const auto gen1 = evaluate_indexing(s, t, apsim::DeviceConfig::gen1());
+    const auto gen2 = evaluate_indexing(s, t, apsim::DeviceConfig::gen2());
+    // Gen 2 always improves on Gen 1 (reconfiguration is the bottleneck).
+    EXPECT_GT(gen2.speedup, gen1.speedup) << t.name;
+  }
+
+  // Indexed techniques scan far fewer candidates than linear on the CPU.
+  EXPECT_LT(techniques[1].candidates_per_query, 0.05 * s.n);
+  EXPECT_LT(techniques[2].candidates_per_query, 0.05 * s.n);
+
+  // kd probes one bucket per tree; k-means exactly one.
+  EXPECT_NEAR(techniques[1].buckets_per_query, 4.0, 0.5);
+  EXPECT_NEAR(techniques[2].buckets_per_query, 1.0, 0.1);
+  // MPLSH probes many more buckets (multi-probe fan-out).
+  EXPECT_GT(techniques[3].buckets_per_query,
+            techniques[1].buckets_per_query);
+}
+
+TEST(IndexingModel, Gen1IndexingIsReconfigurationBound) {
+  // The paper's core Gen-1 finding: indexing does NOT pay off because
+  // every bucket load costs 45 ms (kd/k-means/LSH rows < 1x in Table V,
+  // i.e. far below the 16x of the linear row).
+  const IndexingScenario s = tagspace_scenario();
+  const auto techniques = measure_techniques(s, 1u << 13, 8);
+  const auto linear_gen1 =
+      evaluate_indexing(s, techniques[0], apsim::DeviceConfig::gen1());
+  for (std::size_t i = 1; i < techniques.size(); ++i) {
+    const auto r =
+        evaluate_indexing(s, techniques[i], apsim::DeviceConfig::gen1());
+    EXPECT_LT(r.speedup, linear_gen1.speedup) << techniques[i].name;
+    EXPECT_LT(r.speedup, 2.0) << techniques[i].name;
+  }
+}
+
+TEST(IndexingModel, Gen2MplshTrailsTreeIndexes) {
+  // Table V: MPLSH gains far less from Gen 2 (3.5x vs 106/120x) because
+  // multi-probe touches many buckets per query.
+  const IndexingScenario s = tagspace_scenario();
+  const auto techniques = measure_techniques(s, 1u << 13, 9);
+  const auto kd = evaluate_indexing(s, techniques[1], apsim::DeviceConfig::gen2());
+  const auto mplsh =
+      evaluate_indexing(s, techniques[3], apsim::DeviceConfig::gen2());
+  EXPECT_LT(mplsh.speedup, kd.speedup);
+}
+
+TEST(IndexingModel, RejectsBadArguments) {
+  IndexingScenario s = tagspace_scenario();
+  s.cpu_scan_bits_per_second = 0.0;
+  EXPECT_THROW(evaluate_indexing(s, {}, apsim::DeviceConfig::gen1()),
+               std::invalid_argument);
+  EXPECT_THROW(measure_techniques(tagspace_scenario(), /*sample_n=*/100),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace apss::perf

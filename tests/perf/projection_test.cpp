@@ -1,0 +1,122 @@
+// The Table III/IV/VIII projection models checked against the paper's
+// reported rows.
+
+#include <gtest/gtest.h>
+
+#include "perf/projection.hpp"
+
+namespace apss::perf {
+namespace {
+
+TEST(Workloads, TableII) {
+  const auto all = paper_workloads();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(workload("kNN-WordEmbed").dims, 64u);
+  EXPECT_EQ(workload("kNN-WordEmbed").k, 2u);
+  EXPECT_EQ(workload("kNN-SIFT").dims, 128u);
+  EXPECT_EQ(workload("kNN-SIFT").k, 4u);
+  EXPECT_EQ(workload("kNN-TagSpace").dims, 256u);
+  EXPECT_EQ(workload("kNN-TagSpace").k, 16u);
+  EXPECT_THROW(workload("kNN-Bogus"), std::out_of_range);
+}
+
+TEST(ApProjection, SmallDatasetMatchesTableIII) {
+  // AP Gen 1 small rows: 1.97 / 3.94 / 7.88 ms.
+  for (const auto& [name, paper_ms] :
+       std::vector<std::pair<std::string, double>>{
+           {"kNN-WordEmbed", 1.97}, {"kNN-SIFT", 3.94}, {"kNN-TagSpace", 7.88}}) {
+    ApScenario s;
+    s.workload = workload(name);
+    s.n = s.workload.small_n;
+    const ApEstimate e = estimate_ap(s);
+    EXPECT_EQ(e.configurations, 1u);
+    EXPECT_DOUBLE_EQ(e.reconfig_seconds, 0.0);
+    EXPECT_NEAR(e.total_seconds * 1e3, paper_ms, paper_ms * 0.02) << name;
+  }
+}
+
+TEST(ApProjection, SmallDatasetEnergyMatchesTableIII) {
+  ApScenario s;
+  s.workload = workload("kNN-SIFT");
+  s.n = 1024;
+  const ApEstimate e = estimate_ap(s);
+  EXPECT_NEAR(e.queries_per_joule, 44603, 1500);  // paper: 44603 q/J
+}
+
+TEST(ApProjection, LargeDatasetMatchesTableIV) {
+  struct Row {
+    const char* name;
+    double gen1_s, gen2_s;
+  };
+  for (const Row& row : {Row{"kNN-WordEmbed", 48.10, 2.48},
+                         Row{"kNN-SIFT", 50.11, 4.50},
+                         Row{"kNN-TagSpace", 108.31, 17.07}}) {
+    ApScenario s;
+    s.workload = workload(row.name);
+    s.n = kLargeN;
+    const ApEstimate gen1 = estimate_ap(s);
+    EXPECT_NEAR(gen1.total_seconds, row.gen1_s, row.gen1_s * 0.03) << row.name;
+    s.device = apsim::DeviceConfig::gen2();
+    const ApEstimate gen2 = estimate_ap(s);
+    EXPECT_NEAR(gen2.total_seconds, row.gen2_s, row.gen2_s * 0.03) << row.name;
+    // Gen 1 reconfiguration dominates ("upwards of 98% of execution time"
+    // -- Sec. V-B; ~92-96% across workloads with exact Table IV math).
+    EXPECT_GT(gen1.reconfig_seconds / gen1.total_seconds, 0.8) << row.name;
+    // Gen 2 shifts the bottleneck back to compute.
+    EXPECT_LT(gen2.reconfig_seconds / gen2.total_seconds, 0.3) << row.name;
+  }
+}
+
+TEST(ApProjection, HonestFrameIsRoughlyTwiceThePaperThroughput) {
+  ApScenario s;
+  s.workload = workload("kNN-SIFT");
+  s.n = 1024;
+  const double paper = estimate_ap(s).total_seconds;
+  s.throughput = ApThroughput::kFrameCycles;
+  const double frame = estimate_ap(s).total_seconds;
+  EXPECT_NEAR(frame / paper, 260.0 / 128.0, 1e-9);
+}
+
+TEST(ScanSeconds, ReproducesCpuRows) {
+  const auto& xeon = hwmodels::platform("Xeon E5-2620");
+  EXPECT_NEAR(scan_seconds(xeon, 4096, 1024, 128) * 1e3, 37.5, 1.0);
+  const auto& arm = hwmodels::platform("Cortex A15");
+  EXPECT_NEAR(scan_seconds(arm, 4096, 1024, 128) * 1e3, 191.44, 6.0);
+  // Large dataset scales linearly: Xeon SIFT large ~ 38 s (paper: 33.18 —
+  // the paper's large runs are slightly more efficient per byte).
+  EXPECT_NEAR(scan_seconds(xeon, 4096, 1u << 20, 128), 38.4, 1.5);
+}
+
+TEST(CompoundGains, FactorsInPaperRegime) {
+  const CompoundGains g = compound_gains(workload("kNN-SIFT"));
+  EXPECT_DOUBLE_EQ(g.tech_scaling, 3.19);
+  EXPECT_GT(g.vector_packing, 2.2);   // paper: 3.28
+  EXPECT_LT(g.vector_packing, 3.6);
+  EXPECT_GT(g.ste_decomposition, 3.5);  // paper: 3.93
+  EXPECT_LE(g.ste_decomposition, 4.0);
+  EXPECT_GT(g.counter_increment, 1.6);  // paper: 1.75
+  EXPECT_LE(g.counter_increment, 1.75);
+  // Total in the paper's 63-73x band (ours slightly lower: measured
+  // packing is more conservative than the paper's model).
+  EXPECT_GT(g.total(), 45.0);
+  EXPECT_LT(g.total(), 80.0);
+  EXPECT_DOUBLE_EQ(g.energy_total(), g.total() / 3.19);
+}
+
+TEST(OptExtProjection, TableIVLastColumnShape) {
+  ApScenario s;
+  s.workload = workload("kNN-SIFT");
+  s.n = kLargeN;
+  s.device = apsim::DeviceConfig::gen2();
+  const CompoundGains g = compound_gains(s.workload);
+  const ApEstimate gen2 = estimate_ap(s);
+  const ApEstimate opt = estimate_ap_opt_ext(s, g);
+  EXPECT_NEAR(opt.total_seconds, gen2.total_seconds / g.total(), 1e-12);
+  // Paper: 0.062 s; ours lands in the same order of magnitude.
+  EXPECT_GT(opt.total_seconds, 0.03);
+  EXPECT_LT(opt.total_seconds, 0.12);
+  EXPECT_GT(opt.queries_per_joule, gen2.queries_per_joule * 10);
+}
+
+}  // namespace
+}  // namespace apss::perf

@@ -1,0 +1,134 @@
+#include "quant/itq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "knn/exact.hpp"
+#include "quant/matrix.hpp"
+
+namespace apss::quant {
+namespace {
+
+Matrix clustered_features() {
+  return gaussian_cluster_features(/*samples=*/400, /*feature_dims=*/32,
+                                   /*clusters=*/5, /*center_scale=*/4.0,
+                                   /*spread=*/0.5, /*seed=*/11);
+}
+
+TEST(Itq, FitValidatesArguments) {
+  const Matrix x = clustered_features();
+  ItqOptions opt;
+  opt.bits = 0;
+  EXPECT_THROW(ItqQuantizer::fit(x, opt), std::invalid_argument);
+  opt.bits = 64;  // > feature dims (32)
+  EXPECT_THROW(ItqQuantizer::fit(x, opt), std::invalid_argument);
+  EXPECT_THROW(ItqQuantizer::fit(Matrix(1, 8), ItqOptions{8, 1, 1}),
+               std::invalid_argument);
+}
+
+TEST(Itq, RotationStaysOrthonormal) {
+  const Matrix x = clustered_features();
+  ItqOptions opt;
+  opt.bits = 16;
+  opt.iterations = 20;
+  const ItqQuantizer q = ItqQuantizer::fit(x, opt);
+  const Matrix rtr = q.rotation().transpose() * q.rotation();
+  EXPECT_LT(rtr.max_abs_diff(Matrix::identity(16)), 1e-8);
+}
+
+TEST(Itq, IterationsReduceQuantizationLoss) {
+  const Matrix x = clustered_features();
+  ItqOptions one;
+  one.bits = 16;
+  one.iterations = 1;
+  ItqOptions many = one;
+  many.iterations = 40;
+  const double loss_one = ItqQuantizer::fit(x, one).quantization_loss(x);
+  const double loss_many = ItqQuantizer::fit(x, many).quantization_loss(x);
+  EXPECT_LE(loss_many, loss_one * 1.0001);
+}
+
+TEST(Itq, EncodePreservesClusterNeighborhoods) {
+  // Points from the same Gaussian cluster should map to nearby codes.
+  const Matrix x = gaussian_cluster_features(300, 24, 3, 5.0, 0.3, 21);
+  ItqOptions opt;
+  opt.bits = 16;
+  const ItqQuantizer q = ItqQuantizer::fit(x, opt);
+  const knn::BinaryDataset codes = q.encode_all(x);
+
+  // For sampled pairs: same-cluster pairs (close in feature space) must
+  // have smaller Hamming distance than cross-cluster pairs on average.
+  double same_sum = 0.0, cross_sum = 0.0;
+  std::size_t same_n = 0, cross_n = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t j = i + 1; j < 100; ++j) {
+      double feat_dist = 0.0;
+      for (std::size_t d = 0; d < x.cols(); ++d) {
+        const double diff = x.at(i, d) - x.at(j, d);
+        feat_dist += diff * diff;
+      }
+      const double hd =
+          static_cast<double>(util::hamming_distance(codes.row(i), codes.row(j)));
+      if (feat_dist < 10.0) {
+        same_sum += hd;
+        ++same_n;
+      } else {
+        cross_sum += hd;
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0u);
+  ASSERT_GT(cross_n, 0u);
+  EXPECT_LT(same_sum / same_n, 0.5 * cross_sum / cross_n);
+}
+
+TEST(Itq, CodesPreserveClusterIdentity) {
+  // ITQ codes should keep same-cluster points close: the Hamming nearest
+  // neighbors of a point must overwhelmingly share its cluster label.
+  // (ITQ does NOT promise to preserve fine intra-cluster ranking — cluster
+  // members may collapse to identical codes, which is fine for retrieval.)
+  std::vector<std::uint32_t> labels;
+  const Matrix x = gaussian_cluster_features(500, 40, 8, 4.0, 0.8, 31, &labels);
+  ItqOptions opt;
+  opt.bits = 20;
+  opt.iterations = 50;
+  const knn::BinaryDataset codes = ItqQuantizer::fit(x, opt).encode_all(x);
+
+  double same_label = 0.0;
+  constexpr std::size_t kQueries = 40, kK = 10;
+  for (std::size_t qi = 0; qi < kQueries; ++qi) {
+    auto approx = knn::knn_scan(codes, codes.row(qi), kK + 1);
+    std::erase_if(approx,
+                  [&](const knn::Neighbor& nb) { return nb.id == qi; });
+    if (approx.size() > kK) {
+      approx.resize(kK);
+    }
+    for (const auto& nb : approx) {
+      same_label += labels[nb.id] == labels[qi];
+    }
+  }
+  const double precision = same_label / (kQueries * kK);
+  EXPECT_GT(precision, 0.9);
+}
+
+TEST(Itq, EncodeRejectsWrongDims) {
+  const Matrix x = clustered_features();
+  ItqOptions opt;
+  opt.bits = 8;
+  const ItqQuantizer q = ItqQuantizer::fit(x, opt);
+  const std::vector<double> bad(5, 0.0);
+  EXPECT_THROW(q.encode(bad), std::invalid_argument);
+}
+
+TEST(GaussianClusterFeatures, ShapeAndDeterminism) {
+  const Matrix a = gaussian_cluster_features(50, 8, 3, 2.0, 0.1, 5);
+  const Matrix b = gaussian_cluster_features(50, 8, 3, 2.0, 0.1, 5);
+  EXPECT_EQ(a.rows(), 50u);
+  EXPECT_EQ(a.cols(), 8u);
+  EXPECT_DOUBLE_EQ(a.at(10, 3), b.at(10, 3));
+  EXPECT_THROW(gaussian_cluster_features(10, 8, 0, 1.0, 0.1, 5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace apss::quant

@@ -1,0 +1,153 @@
+#include "quant/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace apss::quant {
+namespace {
+
+TEST(Matrix, MultiplyKnownValues) {
+  Matrix a(2, 3);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(0, 2) = 3;
+  a.at(1, 0) = 4; a.at(1, 1) = 5; a.at(1, 2) = 6;
+  Matrix b(3, 2);
+  b.at(0, 0) = 7;  b.at(0, 1) = 8;
+  b.at(1, 0) = 9;  b.at(1, 1) = 10;
+  b.at(2, 0) = 11; b.at(2, 1) = 12;
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+  EXPECT_THROW(b * a * a, std::invalid_argument);
+}
+
+TEST(Matrix, TransposeAndIdentity) {
+  util::Rng rng(1);
+  const Matrix m = Matrix::gaussian(4, 6, rng);
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 6u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_DOUBLE_EQ(t.at(2, 3), m.at(3, 2));
+  const Matrix i = Matrix::identity(4);
+  EXPECT_NEAR((i * m).max_abs_diff(m), 0.0, 1e-15);
+}
+
+TEST(Matrix, CenterColumnsZeroesMeans) {
+  util::Rng rng(2);
+  Matrix m = Matrix::gaussian(100, 5, rng);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    m.at(r, 2) += 10.0;  // shift one column
+  }
+  const auto means = m.column_means();
+  EXPECT_NEAR(means[2], 10.0, 0.5);
+  m.center_columns(means);
+  for (const double c : m.column_means()) {
+    EXPECT_NEAR(c, 0.0, 1e-12);
+  }
+}
+
+TEST(Matrix, CovarianceOfIsotropicGaussian) {
+  util::Rng rng(3);
+  Matrix m = Matrix::gaussian(20000, 3, rng);
+  m.center_columns(m.column_means());
+  const Matrix cov = m.covariance();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(cov.at(i, j), i == j ? 1.0 : 0.0, 0.05) << i << "," << j;
+    }
+  }
+}
+
+TEST(SymmetricEigen, DiagonalizesKnownMatrix) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix m(2, 2);
+  m.at(0, 0) = 2; m.at(0, 1) = 1;
+  m.at(1, 0) = 1; m.at(1, 1) = 2;
+  const EigenResult e = symmetric_eigen(m);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(e.vectors.at(0, 0)), std::sqrt(0.5), 1e-10);
+  EXPECT_NEAR(std::fabs(e.vectors.at(1, 0)), std::sqrt(0.5), 1e-10);
+}
+
+TEST(SymmetricEigen, ReconstructsRandomSymmetricMatrix) {
+  util::Rng rng(4);
+  const std::size_t n = 12;
+  Matrix g = Matrix::gaussian(n, n, rng);
+  const Matrix sym = g * g.transpose();  // SPD
+  const EigenResult e = symmetric_eigen(sym);
+  // V diag(values) V^T == sym.
+  Matrix lambda(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lambda.at(i, i) = e.values[i];
+    if (i + 1 < n) {
+      EXPECT_GE(e.values[i], e.values[i + 1]);  // sorted descending
+    }
+  }
+  const Matrix rebuilt = e.vectors * lambda * e.vectors.transpose();
+  EXPECT_LT(rebuilt.max_abs_diff(sym), 1e-8);
+  // Orthonormal eigenvectors.
+  const Matrix vtv = e.vectors.transpose() * e.vectors;
+  EXPECT_LT(vtv.max_abs_diff(Matrix::identity(n)), 1e-10);
+}
+
+TEST(GramSchmidt, ProducesOrthonormalColumns) {
+  util::Rng rng(5);
+  const Matrix q = gram_schmidt_q(Matrix::gaussian(10, 6, rng));
+  const Matrix qtq = q.transpose() * q;
+  EXPECT_LT(qtq.max_abs_diff(Matrix::identity(6)), 1e-10);
+}
+
+TEST(GramSchmidt, RejectsRankDeficiency) {
+  Matrix m(3, 2);
+  m.at(0, 0) = 1; m.at(0, 1) = 2;
+  m.at(1, 0) = 2; m.at(1, 1) = 4;
+  m.at(2, 0) = 3; m.at(2, 1) = 6;  // col1 = 2 x col0
+  EXPECT_THROW(gram_schmidt_q(m), std::invalid_argument);
+}
+
+TEST(RandomRotation, IsOrthonormalWithUnitDeterminantMagnitude) {
+  util::Rng rng(6);
+  const Matrix r = Matrix::random_rotation(8, rng);
+  const Matrix rtr = r.transpose() * r;
+  EXPECT_LT(rtr.max_abs_diff(Matrix::identity(8)), 1e-10);
+}
+
+TEST(SvdSquare, ReconstructsMatrix) {
+  util::Rng rng(7);
+  const Matrix m = Matrix::gaussian(9, 9, rng);
+  const SvdResult svd = svd_square(m);
+  Matrix sigma(9, 9);
+  for (std::size_t i = 0; i < 9; ++i) {
+    sigma.at(i, i) = svd.singular_values[i];
+    EXPECT_GE(svd.singular_values[i], 0.0);
+    if (i + 1 < 9) {
+      EXPECT_GE(svd.singular_values[i], svd.singular_values[i + 1]);
+    }
+  }
+  const Matrix rebuilt = svd.u * sigma * svd.v.transpose();
+  EXPECT_LT(rebuilt.max_abs_diff(m), 1e-8);
+  EXPECT_LT((svd.u.transpose() * svd.u).max_abs_diff(Matrix::identity(9)),
+            1e-9);
+  EXPECT_LT((svd.v.transpose() * svd.v).max_abs_diff(Matrix::identity(9)),
+            1e-9);
+}
+
+TEST(SvdSquare, HandlesSingularMatrix) {
+  Matrix m(3, 3);  // rank 1
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      m.at(i, j) = static_cast<double>((i + 1)) * static_cast<double>(j + 1);
+    }
+  }
+  const SvdResult svd = svd_square(m);
+  EXPECT_NEAR(svd.singular_values[1], 0.0, 1e-6);
+  const Matrix utu = svd.u.transpose() * svd.u;
+  EXPECT_LT(utu.max_abs_diff(Matrix::identity(3)), 1e-6);
+}
+
+}  // namespace
+}  // namespace apss::quant

@@ -1,0 +1,112 @@
+#include "util/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace apss::util {
+namespace {
+
+TEST(BitVector, DefaultIsEmpty) {
+  BitVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVector, SetGetFlip) {
+  BitVector v(130);  // spans three words
+  EXPECT_EQ(v.size(), 130u);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_FALSE(v.get(i));
+  }
+  v.set(0, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_EQ(v.popcount(), 3u);
+  v.flip(64);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.popcount(), 2u);
+  v.set(0, false);
+  EXPECT_FALSE(v.get(0));
+}
+
+TEST(BitVector, ParseRoundTrip) {
+  const std::string s = "1011001110001111";
+  const BitVector v = BitVector::parse(s);
+  EXPECT_EQ(v.size(), s.size());
+  EXPECT_EQ(v.to_string(), s);
+  EXPECT_EQ(v.popcount(), 10u);
+}
+
+TEST(BitVector, ParseRejectsNonBinary) {
+  EXPECT_THROW(BitVector::parse("10x1"), std::invalid_argument);
+}
+
+TEST(BitVector, FromBitsMatchesParse) {
+  const std::vector<int> bits = {1, 0, 1, 1};
+  const BitVector a = BitVector::from_bits(bits);
+  const BitVector b = BitVector::parse("1011");
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVector, FromBitsRejectsOutOfRange) {
+  const std::vector<int> bits = {1, 2};
+  EXPECT_THROW(BitVector::from_bits(bits), std::invalid_argument);
+}
+
+TEST(HammingDistance, KnownValues) {
+  const BitVector a = BitVector::parse("1011");
+  const BitVector b = BitVector::parse("1001");
+  EXPECT_EQ(hamming_distance(a, b), 1u);
+  EXPECT_EQ(hamming_distance(a, a), 0u);
+  const BitVector z(4);
+  EXPECT_EQ(hamming_distance(a, z), 3u);
+}
+
+TEST(HammingDistance, MatchesNaiveOnRandomVectors) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t dims = 1 + rng.below(300);
+    BitVector a(dims), b(dims);
+    for (std::size_t i = 0; i < dims; ++i) {
+      a.set(i, rng.bernoulli(0.5));
+      b.set(i, rng.bernoulli(0.5));
+    }
+    std::size_t naive = 0;
+    for (std::size_t i = 0; i < dims; ++i) {
+      naive += a.get(i) != b.get(i);
+    }
+    EXPECT_EQ(hamming_distance(a, b), naive) << "dims=" << dims;
+  }
+}
+
+TEST(HammingDistance, SymmetryAndTriangleInequality) {
+  Rng rng(7);
+  const std::size_t dims = 128;
+  for (int trial = 0; trial < 30; ++trial) {
+    BitVector a(dims), b(dims), c(dims);
+    for (std::size_t i = 0; i < dims; ++i) {
+      a.set(i, rng.bernoulli(0.5));
+      b.set(i, rng.bernoulli(0.5));
+      c.set(i, rng.bernoulli(0.5));
+    }
+    EXPECT_EQ(hamming_distance(a, b), hamming_distance(b, a));
+    EXPECT_LE(hamming_distance(a, c),
+              hamming_distance(a, b) + hamming_distance(b, c));
+  }
+}
+
+TEST(WordsForBits, Boundaries) {
+  EXPECT_EQ(words_for_bits(0), 0u);
+  EXPECT_EQ(words_for_bits(1), 1u);
+  EXPECT_EQ(words_for_bits(64), 1u);
+  EXPECT_EQ(words_for_bits(65), 2u);
+  EXPECT_EQ(words_for_bits(128), 2u);
+}
+
+}  // namespace
+}  // namespace apss::util

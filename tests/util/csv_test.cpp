@@ -1,0 +1,56 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace apss::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "apss_csv_test.csv").string();
+  {
+    CsvWriter csv(path, {"workload", "ms"});
+    ASSERT_TRUE(csv.ok());
+    csv.add_row({"sift", "3.94"});
+    csv.add_row({"tagspace", "7.88"});
+  }
+  EXPECT_EQ(slurp(path), "workload,ms\nsift,3.94\ntagspace,7.88\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "apss_csv_esc.csv").string();
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.add_row({"has,comma", "has \"quote\""});
+    csv.add_row({"line\nbreak", "plain"});
+  }
+  EXPECT_EQ(slurp(path),
+            "a,b\n\"has,comma\",\"has \"\"quote\"\"\"\n\"line\nbreak\","
+            "plain\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsWrongArity) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "apss_csv_bad.csv").string();
+  CsvWriter csv(path, {"x", "y"});
+  EXPECT_THROW(csv.add_row({"only"}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace apss::util

@@ -1,0 +1,57 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace apss::util {
+namespace {
+
+TEST(TablePrinter, RendersAlignedTable) {
+  TablePrinter t("Demo");
+  t.set_header({"Workload", "ms"});
+  t.add_row({"SIFT", "3.94"});
+  t.add_row({"WordEmbed", "1.97"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("== Demo =="), std::string::npos);
+  EXPECT_NE(s.find("| Workload  |"), std::string::npos);
+  EXPECT_NE(s.find("3.94"), std::string::npos);
+  // All data rows have the same width.
+  std::size_t width = 0;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t eol = s.find('\n', pos);
+    const std::string line = s.substr(pos, eol - pos);
+    if (!line.empty() && (line[0] == '|' || line[0] == '+')) {
+      if (width == 0) {
+        width = line.size();
+      }
+      EXPECT_EQ(line.size(), width) << line;
+    }
+    pos = eol + 1;
+  }
+}
+
+TEST(TablePrinter, RowSizeMismatchThrows) {
+  TablePrinter t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, NotesAppearAfterTable) {
+  TablePrinter t;
+  t.set_header({"x"});
+  t.add_row({"1"});
+  t.add_note("calibrated against the paper");
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("note: calibrated"), std::string::npos);
+}
+
+TEST(TablePrinter, FmtFixedAndAuto) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(3.0, 0), "3");
+  EXPECT_EQ(TablePrinter::fmt_auto(0.5), "0.50");
+  const std::string big = TablePrinter::fmt_auto(1.23e9);
+  EXPECT_NE(big.find('e'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apss::util

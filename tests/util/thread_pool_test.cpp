@@ -1,0 +1,90 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace apss::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ChunkedVariantCoversRange) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for_chunks(
+      0, kN,
+      [&](std::size_t lo, std::size_t hi) {
+        EXPECT_LT(lo, hi);
+        for (std::size_t i = lo; i < hi; ++i) {
+          ++hits[i];
+        }
+      },
+      64);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ReductionMatchesSerial) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100000;
+  std::atomic<long long> total{0};
+  pool.parallel_for_chunks(
+      0, kN,
+      [&](std::size_t lo, std::size_t hi) {
+        long long local = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          local += static_cast<long long>(i);
+        }
+        total += local;
+      },
+      1024);
+  EXPECT_EQ(total.load(), static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+TEST(ThreadPool, NestedParallelForDegradesToSerial) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    // Nested submission must not deadlock.
+    pool.parallel_for(0, 8, [&](std::size_t) { ++count; });
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 100, [&](std::size_t) { ++count; });
+    ASSERT_EQ(count.load(), 100) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<int> count{0};
+  ThreadPool::global().parallel_for(0, 10, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace apss::util
