@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "apsim/simulator.hpp"
+#include "apss_test_support.hpp"
 
 namespace apss::anml {
 namespace {
@@ -18,9 +19,8 @@ std::vector<std::uint64_t> match_ends(const std::string& pattern,
   compile_pcre(net, pattern, 1);
   EXPECT_TRUE(net.validate().empty()) << pattern;
   apsim::Simulator sim(net);
-  const std::vector<std::uint8_t> bytes(text.begin(), text.end());
   std::vector<std::uint64_t> ends;
-  for (const auto& e : sim.run(bytes)) {
+  for (const auto& e : sim.run(test::bytes(text))) {
     ends.push_back(e.cycle);
   }
   return ends;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "apsim/simulator.hpp"
+#include "apss_test_support.hpp"
 #include "util/rng.hpp"
 
 namespace apss::apsim {
@@ -233,10 +234,8 @@ TEST_P(DifferentialSweep, FrontierSimulatorMatchesDenseReference) {
     const AutomataNetwork net = random_network(rng);
     ASSERT_TRUE(net.validate().empty());
 
-    std::vector<std::uint8_t> stream(10 + rng.below(60));
-    for (auto& s : stream) {
-      s = static_cast<std::uint8_t>('a' + rng.below(5));
-    }
+    const std::vector<std::uint8_t> stream =
+        test::random_symbol_stream(rng, 10 + rng.below(60), 5);
     const std::uint32_t max_inc = 1 + static_cast<std::uint32_t>(rng.below(8));
 
     SimOptions opt;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "apss_test_support.hpp"
+
 namespace apss::apsim {
 namespace {
 
@@ -10,22 +12,7 @@ using anml::CounterPort;
 using anml::ElementId;
 using anml::StartKind;
 using anml::SymbolSet;
-
-/// A toy macro: `stes` STEs in a chain + one counter + one reporting STE.
-AutomataNetwork chain_macro(std::size_t stes) {
-  AutomataNetwork net;
-  ElementId prev = net.add_ste(SymbolSet::all(), StartKind::kAllInput);
-  for (std::size_t i = 1; i < stes; ++i) {
-    const ElementId next = net.add_ste(SymbolSet::all());
-    net.connect(prev, next);
-    prev = next;
-  }
-  const ElementId counter = net.add_counter(4);
-  net.connect(prev, counter, CounterPort::kCountEnable);
-  const ElementId rep = net.add_reporting_ste(SymbolSet::all(), 1);
-  net.connect(counter, rep);
-  return net;
-}
+using test::chain_macro;
 
 TEST(Placement, CountsResources) {
   const AutomataNetwork net = chain_macro(10);

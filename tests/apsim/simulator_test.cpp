@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "apss_test_support.hpp"
+
 namespace apss::apsim {
 namespace {
 
@@ -15,10 +17,7 @@ using anml::CounterPort;
 using anml::ElementId;
 using anml::StartKind;
 using anml::SymbolSet;
-
-std::vector<std::uint8_t> bytes(const std::string& s) {
-  return {s.begin(), s.end()};
-}
+using test::bytes;
 
 TEST(Simulator, RejectsInvalidNetwork) {
   AutomataNetwork net;

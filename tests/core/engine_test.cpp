@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "anml/anml_io.hpp"
+#include "apss_test_support.hpp"
 #include "util/rng.hpp"
 
 namespace apss::core {
@@ -24,11 +25,7 @@ TEST(ApKnnEngine, SingleConfigurationMatchesCpuExact) {
   ApKnnEngine engine(data, small_engine_options());
   EXPECT_EQ(engine.configurations(), 1u);
   const auto results = engine.search(queries, 5);
-  ASSERT_EQ(results.size(), queries.size());
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    EXPECT_TRUE(knn::is_valid_knn_result(data, queries.row(q), 5, results[q]))
-        << "query " << q;
-  }
+  test::expect_valid_knn_results(data, queries, 5, results);
 }
 
 TEST(ApKnnEngine, MultiConfigurationPartialReconfiguration) {
@@ -38,10 +35,7 @@ TEST(ApKnnEngine, MultiConfigurationPartialReconfiguration) {
   ApKnnEngine engine(data, small_engine_options(8));
   EXPECT_EQ(engine.configurations(), 5u);
   const auto results = engine.search(queries, 4);
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    EXPECT_TRUE(knn::is_valid_knn_result(data, queries.row(q), 4, results[q]))
-        << "query " << q;
-  }
+  test::expect_valid_knn_results(data, queries, 4, results);
   const EngineStats& stats = engine.last_stats();
   EXPECT_EQ(stats.configurations, 5u);
   EXPECT_EQ(stats.queries, 6u);
@@ -79,10 +73,8 @@ TEST(ApKnnEngine, ClusteredDataProperty) {
     const auto queries = knn::perturbed_queries(data, 4, 0.1, rng.next());
     ApKnnEngine engine(data, small_engine_options(1 + rng.below(n)));
     const auto results = engine.search(queries, k);
-    for (std::size_t q = 0; q < queries.size(); ++q) {
-      EXPECT_TRUE(knn::is_valid_knn_result(data, queries.row(q), k, results[q]))
-          << "trial " << trial << " query " << q;
-    }
+    test::expect_valid_knn_results(data, queries, k, results,
+                                   "trial " + std::to_string(trial));
   }
 }
 

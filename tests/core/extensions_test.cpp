@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "apsim/simulator.hpp"
+#include "apss_test_support.hpp"
 #include "core/ext/comparison_macro.hpp"
 #include "core/ext/counter_increment.hpp"
 #include "core/ext/ste_decomposition.hpp"
@@ -65,10 +66,9 @@ TEST(CiKnn, MatchesCpuExactProperty) {
     const auto data = knn::BinaryDataset::uniform(n, d, rng.next());
     const auto queries = knn::BinaryDataset::uniform(3, d, rng.next());
     const auto results = ci_knn_search(data, queries, k);
-    for (std::size_t q = 0; q < queries.size(); ++q) {
-      EXPECT_TRUE(knn::is_valid_knn_result(data, queries.row(q), k, results[q]))
-          << "trial " << trial << " query " << q << " d=" << d;
-    }
+    test::expect_valid_knn_results(
+        data, queries, k, results,
+        "trial " + std::to_string(trial) + " d=" + std::to_string(d));
   }
 }
 
@@ -76,9 +76,7 @@ TEST(CiKnn, NonMultipleOfSevenDims) {
   const auto data = knn::BinaryDataset::uniform(10, 13, 802);
   const auto queries = knn::BinaryDataset::uniform(4, 13, 803);
   const auto results = ci_knn_search(data, queries, 3);
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    EXPECT_TRUE(knn::is_valid_knn_result(data, queries.row(q), 3, results[q]));
-  }
+  test::expect_valid_knn_results(data, queries, 3, results);
 }
 
 // --- Comparison macro (Fig. 8) -----------------------------------------------
@@ -95,8 +93,7 @@ struct CmpRig {
     apsim::SimOptions opt;
     opt.allow_dynamic_threshold = true;
     apsim::Simulator sim(net, opt);
-    const std::vector<std::uint8_t> bytes(s.begin(), s.end());
-    return sim.run(bytes);
+    return sim.run(test::bytes(s));
   }
 };
 

@@ -3,12 +3,15 @@
 #include <gtest/gtest.h>
 
 #include "apsim/simulator.hpp"
+#include "apss_test_support.hpp"
 #include "core/stream.hpp"
 #include "util/rng.hpp"
 
 namespace apss::core {
 namespace {
 
+using test::random_bitvector;
+using test::run_hamming_query;
 using util::BitVector;
 
 TEST(HammingMacro, StructureCountsForD4) {
@@ -75,22 +78,11 @@ TEST(HammingMacro, RejectsBadOptions) {
                std::invalid_argument);
 }
 
-/// Runs one query against one macro and returns the report offsets.
-std::vector<apsim::ReportEvent> run_single(const BitVector& vec,
-                                           const BitVector& query,
-                                           const HammingMacroOptions& opt = {}) {
-  anml::AutomataNetwork net;
-  const MacroLayout layout = append_hamming_macro(net, vec, 0, opt);
-  apsim::Simulator sim(net);
-  const SymbolStreamEncoder encoder(layout.stream_spec(vec.size()));
-  return sim.run(encoder.encode_query(query));
-}
-
 TEST(HammingMacroExecution, PaperFig3Example) {
   // Vector {1,0,1,1}, query {1,0,0,1}: inverted Hamming distance 3,
   // report at cycle 2d+L+3-h = 12-3 = 9 (paper: t=9).
   const auto events =
-      run_single(BitVector::parse("1011"), BitVector::parse("1001"));
+      run_hamming_query(BitVector::parse("1011"), BitVector::parse("1001"));
   ASSERT_EQ(events.size(), 1u);
   EXPECT_EQ(events[0].cycle, 9u);
 }
@@ -98,8 +90,8 @@ TEST(HammingMacroExecution, PaperFig3Example) {
 TEST(HammingMacroExecution, PaperFig4BothVectors) {
   // A={1,0,1,1} reports at t=9; B={0,0,0,0} (h=2) at t=10.
   const BitVector query = BitVector::parse("1001");
-  const auto a = run_single(BitVector::parse("1011"), query);
-  const auto b = run_single(BitVector::parse("0000"), query);
+  const auto a = run_hamming_query(BitVector::parse("1011"), query);
+  const auto b = run_hamming_query(BitVector::parse("0000"), query);
   ASSERT_EQ(a.size(), 1u);
   ASSERT_EQ(b.size(), 1u);
   EXPECT_EQ(a[0].cycle, 9u);
@@ -110,12 +102,12 @@ TEST(HammingMacroExecution, ExactMatchAndWorstCaseOffsets) {
   const StreamSpec spec{8, 1};
   // h = d (identical): earliest report.
   const BitVector v = BitVector::parse("10110100");
-  const auto hit = run_single(v, v);
+  const auto hit = run_hamming_query(v, v);
   ASSERT_EQ(hit.size(), 1u);
   EXPECT_EQ(hit[0].cycle, spec.report_offset(8));
   // h = 0 (complement): latest report, at the EOF cycle.
   const BitVector comp = BitVector::parse("01001011");
-  const auto miss = run_single(v, comp);
+  const auto miss = run_hamming_query(v, comp);
   ASSERT_EQ(miss.size(), 1u);
   EXPECT_EQ(miss[0].cycle, spec.cycles_per_query());
   EXPECT_EQ(spec.distance_from_offset(miss[0].cycle), 8u);
@@ -125,12 +117,9 @@ TEST(HammingMacroExecution, ReportOffsetEncodesDistanceProperty) {
   util::Rng rng(77);
   for (int trial = 0; trial < 40; ++trial) {
     const std::size_t d = 1 + rng.below(96);
-    BitVector vec(d), query(d);
-    for (std::size_t i = 0; i < d; ++i) {
-      vec.set(i, rng.bernoulli(0.5));
-      query.set(i, rng.bernoulli(0.5));
-    }
-    const auto events = run_single(vec, query);
+    const BitVector vec = random_bitvector(rng, d);
+    const BitVector query = random_bitvector(rng, d);
+    const auto events = run_hamming_query(vec, query);
     ASSERT_EQ(events.size(), 1u) << "d=" << d;
     const StreamSpec spec{d, 1};
     const std::size_t expected_h = d - util::hamming_distance(vec, query);
@@ -147,11 +136,8 @@ TEST(HammingMacroExecution, DeepCollectorTreeStillCorrect) {
   opt.max_counter_fan_in = 4;
   for (int trial = 0; trial < 10; ++trial) {
     const std::size_t d = 32 + rng.below(64);
-    BitVector vec(d), query(d);
-    for (std::size_t i = 0; i < d; ++i) {
-      vec.set(i, rng.bernoulli(0.5));
-      query.set(i, rng.bernoulli(0.5));
-    }
+    const BitVector vec = random_bitvector(rng, d);
+    const BitVector query = random_bitvector(rng, d);
     anml::AutomataNetwork net;
     const MacroLayout layout = append_hamming_macro(net, vec, 0, opt);
     ASSERT_GT(layout.collector_levels, 1u);
@@ -173,12 +159,7 @@ TEST(HammingMacroExecution, BackToBackQueriesAreIndependent) {
   const SymbolStreamEncoder encoder(spec);
 
   util::Rng rng(79);
-  knn::BinaryDataset queries(5, vec.size());
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    for (std::size_t i = 0; i < vec.size(); ++i) {
-      queries.set(q, i, rng.bernoulli(0.5));
-    }
-  }
+  const knn::BinaryDataset queries = test::random_dataset(rng, 5, vec.size());
   apsim::Simulator sim(net);
   const auto events = sim.run(encoder.encode_batch(queries));
   ASSERT_EQ(events.size(), queries.size());

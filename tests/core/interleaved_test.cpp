@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "apsim/simulator.hpp"
+#include "apss_test_support.hpp"
 #include "util/rng.hpp"
 
 namespace apss::core {
@@ -69,7 +70,7 @@ TEST(InterleavedSearch, SingleQueryMatchesCpu) {
   const auto data = knn::BinaryDataset::uniform(20, 16, 2);
   const auto queries = knn::BinaryDataset::uniform(1, 16, 3);
   const auto results = interleaved_knn_search(data, queries, 5);
-  EXPECT_TRUE(knn::is_valid_knn_result(data, queries.row(0), 5, results[0]));
+  test::expect_valid_knn_results(data, queries, 5, results);
 }
 
 TEST(InterleavedSearch, BackToBackQueriesProperty) {
@@ -82,12 +83,10 @@ TEST(InterleavedSearch, BackToBackQueriesProperty) {
     const auto data = knn::BinaryDataset::uniform(n, d, rng.next());
     const auto queries = knn::BinaryDataset::uniform(q, d, rng.next());
     const auto results = interleaved_knn_search(data, queries, k);
-    for (std::size_t i = 0; i < q; ++i) {
-      EXPECT_TRUE(knn::is_valid_knn_result(data, queries.row(i), k,
-                                           results[i]))
-          << "trial " << trial << " query " << i << " (n=" << n
-          << ", d=" << d << ", k=" << k << ")";
-    }
+    test::expect_valid_knn_results(
+        data, queries, k, results,
+        "trial " + std::to_string(trial) + " (n=" + std::to_string(n) +
+            ", d=" + std::to_string(d) + ", k=" + std::to_string(k) + ")");
   }
 }
 

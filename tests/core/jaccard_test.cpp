@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "apsim/simulator.hpp"
+#include "apss_test_support.hpp"
 #include "core/stream.hpp"
 #include "util/rng.hpp"
 
@@ -40,21 +41,10 @@ TEST(JaccardSearch, IntersectionCountsAreExactProperty) {
   for (int trial = 0; trial < 6; ++trial) {
     const std::size_t n = 6 + rng.below(14);
     const std::size_t d = 6 + rng.below(40);
-    knn::BinaryDataset data(n, d);
-    knn::BinaryDataset queries(3, d);
     // Dense-ish random sets, guaranteed nonempty.
-    for (std::size_t v = 0; v < n; ++v) {
-      for (std::size_t i = 0; i < d; ++i) {
-        data.set(v, i, rng.bernoulli(0.5));
-      }
-      data.set(v, rng.below(d), true);
-    }
-    for (std::size_t q = 0; q < queries.size(); ++q) {
-      for (std::size_t i = 0; i < d; ++i) {
-        queries.set(q, i, rng.bernoulli(0.5));
-      }
-      queries.set(q, rng.below(d), true);
-    }
+    const knn::BinaryDataset data = test::random_nonempty_dataset(rng, n, d);
+    const knn::BinaryDataset queries =
+        test::random_nonempty_dataset(rng, 3, d);
     const auto results = jaccard_search(data, queries, n);
     for (std::size_t q = 0; q < queries.size(); ++q) {
       ASSERT_EQ(results[q].size(), n) << "every macro reports once";

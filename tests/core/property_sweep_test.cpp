@@ -8,6 +8,7 @@
 
 #include <tuple>
 
+#include "apss_test_support.hpp"
 #include "core/engine.hpp"
 #include "core/ext/counter_increment.hpp"
 #include "core/opt/interleaved.hpp"
@@ -42,11 +43,7 @@ TEST_P(EngineSweep, ApEngineReturnsExactKnn) {
   opt.max_vectors_per_config = p.vectors_per_config;
   ApKnnEngine engine(data, opt);
   const auto results = engine.search(queries, p.k);
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    EXPECT_TRUE(
-        knn::is_valid_knn_result(data, queries.row(q), p.k, results[q]))
-        << "query " << q;
-  }
+  test::expect_valid_knn_results(data, queries, p.k, results);
 }
 
 TEST_P(EngineSweep, InterleavedDesignAgrees) {
@@ -57,11 +54,7 @@ TEST_P(EngineSweep, InterleavedDesignAgrees) {
   const auto data = knn::BinaryDataset::uniform(p.n, p.dims, 7200 + p.n);
   const auto queries = knn::BinaryDataset::uniform(4, p.dims, 7300 + p.dims);
   const auto results = interleaved_knn_search(data, queries, p.k);
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    EXPECT_TRUE(
-        knn::is_valid_knn_result(data, queries.row(q), p.k, results[q]))
-        << "query " << q;
-  }
+  test::expect_valid_knn_results(data, queries, p.k, results);
 }
 
 TEST_P(EngineSweep, CounterIncrementDesignAgrees) {
@@ -69,11 +62,7 @@ TEST_P(EngineSweep, CounterIncrementDesignAgrees) {
   const auto data = knn::BinaryDataset::uniform(p.n, p.dims, 7400 + p.n);
   const auto queries = knn::BinaryDataset::uniform(4, p.dims, 7500 + p.dims);
   const auto results = ci_knn_search(data, queries, p.k);
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    EXPECT_TRUE(
-        knn::is_valid_knn_result(data, queries.row(q), p.k, results[q]))
-        << "query " << q;
-  }
+  test::expect_valid_knn_results(data, queries, p.k, results);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -146,10 +135,8 @@ TEST_P(MuxSweep, EverySliceCountReturnsExactKnn) {
       knn::BinaryDataset::uniform(2 * slices + 1, 12, 8300);
   const MultiplexedKnn mux(data, slices);
   const auto results = mux.search(queries, 3);
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    EXPECT_TRUE(knn::is_valid_knn_result(data, queries.row(q), 3, results[q]))
-        << "slices=" << slices << " query " << q;
-  }
+  test::expect_valid_knn_results(data, queries, 3, results,
+                                 "slices=" + std::to_string(slices));
 }
 
 INSTANTIATE_TEST_SUITE_P(Grid, MuxSweep,

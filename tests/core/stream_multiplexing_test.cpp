@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "apsim/placement.hpp"
+#include "apss_test_support.hpp"
 #include "util/rng.hpp"
 
 namespace apss::core {
@@ -60,11 +61,7 @@ TEST(MultiplexedKnn, MatchesCpuExactForSevenParallelQueries) {
   const auto queries = knn::BinaryDataset::uniform(7, 16, rng.next());
   const MultiplexedKnn mux(data, 7);
   const auto results = mux.search(queries, 5);
-  ASSERT_EQ(results.size(), 7u);
-  for (std::size_t q = 0; q < 7; ++q) {
-    EXPECT_TRUE(knn::is_valid_knn_result(data, queries.row(q), 5, results[q]))
-        << "query " << q;
-  }
+  test::expect_valid_knn_results(data, queries, 5, results);
 }
 
 TEST(MultiplexedKnn, HandlesPartialLastGroup) {
@@ -73,10 +70,7 @@ TEST(MultiplexedKnn, HandlesPartialLastGroup) {
   const MultiplexedKnn mux(data, 7);
   const auto results = mux.search(queries, 3);
   ASSERT_EQ(results.size(), 10u);
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    EXPECT_TRUE(knn::is_valid_knn_result(data, queries.row(q), 3, results[q]))
-        << "query " << q;
-  }
+  test::expect_valid_knn_results(data, queries, 3, results);
 }
 
 TEST(MultiplexedKnn, SevenfoldThroughputInFrames) {

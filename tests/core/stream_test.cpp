@@ -64,6 +64,47 @@ TEST(SymbolStreamEncoder, RejectsDimsMismatch) {
                std::invalid_argument);
 }
 
+TEST(SymbolStreamEncoder, EmptyBatchProducesEmptyStream) {
+  const SymbolStreamEncoder enc(StreamSpec{4, 1});
+  EXPECT_TRUE(enc.encode_batch(knn::BinaryDataset(0, 4)).empty());
+}
+
+TEST(StreamSpec, SingleDimensionFrame) {
+  // d=1 is the smallest legal frame: SOF + 1 data + 3 fill + EOF.
+  const StreamSpec spec{1, 1};
+  EXPECT_EQ(spec.fill_symbols(), 3u);
+  EXPECT_EQ(spec.cycles_per_query(), 6u);
+  EXPECT_EQ(spec.report_offset(1), 5u);  // exact match (h = d)
+  EXPECT_EQ(spec.report_offset(0), 6u);  // total miss (h = 0)
+  EXPECT_EQ(spec.distance_from_offset(5), 0u);
+  EXPECT_EQ(spec.distance_from_offset(6), 1u);
+  EXPECT_THROW(spec.distance_from_offset(4), std::out_of_range);
+}
+
+TEST(SymbolStreamEncoder, SingleSymbolQueryFrames) {
+  const SymbolStreamEncoder enc(StreamSpec{1, 1});
+  for (const bool bit : {false, true}) {
+    util::BitVector q(1);
+    q.set(0, bit);
+    const auto stream = enc.encode_query(q);
+    ASSERT_EQ(stream.size(), 6u);
+    EXPECT_EQ(stream[0], Alphabet::kSof);
+    EXPECT_EQ(stream[1], Alphabet::data_bit(bit));
+    EXPECT_EQ(stream[2], Alphabet::kFill);
+    EXPECT_EQ(stream[3], Alphabet::kFill);
+    EXPECT_EQ(stream[4], Alphabet::kFill);
+    EXPECT_EQ(stream[5], Alphabet::kEof);
+  }
+}
+
+TEST(TemporalSortDecoder, EmptyEventsDecodeToEmptyListsPerQuery) {
+  const TemporalSortDecoder decoder(StreamSpec{4, 1}, 2);
+  const auto result = decoder.decode({});
+  ASSERT_EQ(result.size(), 2u);  // one list per query, even with no events
+  EXPECT_TRUE(result[0].empty());
+  EXPECT_TRUE(result[1].empty());
+}
+
 TEST(Alphabet, ControlSymbolsAreFlagged) {
   EXPECT_TRUE(Alphabet::is_control(Alphabet::kSof));
   EXPECT_TRUE(Alphabet::is_control(Alphabet::kEof));

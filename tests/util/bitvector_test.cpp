@@ -100,6 +100,53 @@ TEST(HammingDistance, SymmetryAndTriangleInequality) {
   }
 }
 
+TEST(BitVector, WordBoundarySizes) {
+  // 63/64/65 straddle the one-word/two-word transition.
+  for (const std::size_t n : {63u, 64u, 65u}) {
+    BitVector v(n);
+    EXPECT_EQ(v.size(), n);
+    EXPECT_EQ(v.words().size(), words_for_bits(n));
+    v.set(n - 1, true);
+    EXPECT_TRUE(v.get(n - 1));
+    EXPECT_EQ(v.popcount(), 1u) << "n=" << n;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      EXPECT_FALSE(v.get(i)) << "n=" << n << " i=" << i;
+    }
+    v.set(n - 1, false);
+    EXPECT_EQ(v.popcount(), 0u);
+  }
+}
+
+TEST(BitVector, PopcountAfterFlipAllAtBoundaries) {
+  // Flipping every bit must count exactly n ones: padding bits in the
+  // final word must never leak into popcount or to_string.
+  for (const std::size_t n : {63u, 64u, 65u}) {
+    BitVector v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v.flip(i);
+    }
+    EXPECT_EQ(v.popcount(), n) << "n=" << n;
+    EXPECT_EQ(v.to_string(), std::string(n, '1'));
+    for (std::size_t i = 0; i < n; ++i) {
+      v.flip(i);
+    }
+    EXPECT_EQ(v.popcount(), 0u) << "n=" << n;
+    EXPECT_EQ(v.to_string(), std::string(n, '0'));
+  }
+}
+
+TEST(HammingDistance, ComplementAtWordBoundaries) {
+  for (const std::size_t n : {63u, 64u, 65u}) {
+    const BitVector zero(n);
+    BitVector ones(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ones.flip(i);
+    }
+    EXPECT_EQ(hamming_distance(zero, ones), n);
+    EXPECT_EQ(hamming_distance(ones, ones), 0u);
+  }
+}
+
 TEST(WordsForBits, Boundaries) {
   EXPECT_EQ(words_for_bits(0), 0u);
   EXPECT_EQ(words_for_bits(1), 1u);
