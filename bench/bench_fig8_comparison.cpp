@@ -1,18 +1,41 @@
 // Fig. 8 / Sec. VII-B: the dynamic-threshold comparison macro — an
-// "if (A > B)" construct. The bench sweeps symbol streams with every
-// (a-count, b-count) combination in a grid and checks the macro fires
-// exactly when #a > #b held for a cycle.
+// "if (A > B)" construct — plus the simulation-backend comparison for the
+// paper's end-to-end kNN path: the same searches run on the cycle-accurate
+// reference simulator and on the bit-parallel batch backend, with wall
+// clock, simulated cycles, and modeled device time recorded to
+// BENCH_fig8_comparison.json.
+//
+// Usage: bench_fig8_comparison [n] [dims] [queries]   (defaults 1024 128 32)
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "apsim/simulator.hpp"
+#include "core/engine.hpp"
 #include "core/ext/comparison_macro.hpp"
+#include "knn/dataset.hpp"
+#include "util/bench_report.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
-int main() {
-  using namespace apss;
+namespace {
+
+using namespace apss;
+
+/// Strict positive decimal parse: rejects signs, suffixes ("1e3"), and
+/// empty/garbage input by returning 0 (the caller's usage trigger).
+std::size_t parse_positive(const char* s) {
+  if (s == nullptr || *s < '0' || *s > '9') {
+    return 0;
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  return *end == '\0' ? static_cast<std::size_t>(v) : 0;
+}
+
+int run_comparison_grid(util::BenchReport& report) {
   anml::AutomataNetwork net;
   core::append_comparison_macro(net, anml::SymbolSet::single('a'),
                                 anml::SymbolSet::single('b'),
@@ -23,6 +46,8 @@ int main() {
   util::TablePrinter table("Fig. 8: comparison macro truth grid");
   table.set_header({"#a \\ #b", "0", "1", "2", "3", "4"});
   std::size_t errors = 0;
+  std::uint64_t cycles = 0;
+  util::Timer timer;
   for (std::size_t na = 0; na <= 4; ++na) {
     std::vector<std::string> row = {std::to_string(na)};
     for (std::size_t nb = 0; nb <= 4; ++nb) {
@@ -34,6 +59,7 @@ int main() {
       apsim::Simulator sim(net, opt);
       const std::vector<std::uint8_t> bytes(stream.begin(), stream.end());
       const bool fired = !sim.run(bytes).empty();
+      cycles += bytes.size();
       const bool expected = na > nb;
       if (fired != expected) {
         ++errors;
@@ -42,12 +68,115 @@ int main() {
     }
     table.add_row(row);
   }
+  report.write(util::BenchRecord("comparison_grid")
+                   .param("grid_cells", std::uint64_t{25})
+                   .cycles(cycles)
+                   .wall_seconds(timer.seconds()));
   table.add_note("expected: FIRE strictly below the diagonal (#a > #b).");
   table.print(std::cout);
   if (errors != 0) {
     std::fprintf(stderr, "FAIL: %zu grid cells diverged\n", errors);
     return 1;
   }
-  std::printf("\nAll 25 grid cells match the A > B predicate.\n");
+  std::printf("\nAll 25 grid cells match the A > B predicate.\n\n");
   return 0;
+}
+
+struct BackendRun {
+  double wall_seconds = 0.0;
+  std::vector<std::vector<knn::Neighbor>> results;
+  core::EngineStats stats;
+};
+
+BackendRun run_backend(const knn::BinaryDataset& data,
+                       const knn::BinaryDataset& queries, std::size_t k,
+                       core::SimulationBackend backend) {
+  core::EngineOptions opt;
+  opt.backend = backend;
+  core::ApKnnEngine engine(data, opt);
+  util::Timer timer;
+  BackendRun r;
+  r.results = engine.search(queries, k);
+  r.wall_seconds = timer.seconds();
+  r.stats = engine.last_stats();
+  return r;
+}
+
+int run_backend_comparison(util::BenchReport& report, std::size_t n,
+                           std::size_t dims, std::size_t queries_n) {
+  const std::size_t k = 10;
+  const auto data = knn::BinaryDataset::uniform(n, dims, 97);
+  const auto queries = knn::BinaryDataset::uniform(queries_n, dims, 98);
+  const apsim::DeviceTiming timing = apsim::DeviceConfig::gen1().timing;
+
+  const BackendRun cycle =
+      run_backend(data, queries, k, core::SimulationBackend::kCycleAccurate);
+  const BackendRun bit =
+      run_backend(data, queries, k, core::SimulationBackend::kBitParallel);
+
+  if (cycle.results != bit.results ||
+      !(cycle.stats == bit.stats)) {
+    std::fprintf(stderr,
+                 "FAIL: backends disagree on results or EngineStats\n");
+    return 1;
+  }
+  const double speedup = bit.wall_seconds > 0.0
+                             ? cycle.wall_seconds / bit.wall_seconds
+                             : 0.0;
+
+  util::TablePrinter table("Simulated-AP backend comparison (same searches)");
+  table.set_header({"backend", "wall s", "sim cycles", "device model s"});
+  const auto row = [&](const char* name, const BackendRun& r) {
+    table.add_row({name, util::TablePrinter::fmt(r.wall_seconds, 4),
+                   std::to_string(r.stats.simulated_cycles),
+                   util::TablePrinter::fmt(r.stats.total_seconds(timing), 5)});
+    report.write(
+        util::BenchRecord(std::string("knn_") + name)
+            .param("n", static_cast<std::uint64_t>(n))
+            .param("dims", static_cast<std::uint64_t>(dims))
+            .param("queries", static_cast<std::uint64_t>(queries_n))
+            .param("k", static_cast<std::uint64_t>(k))
+            .cycles(static_cast<std::uint64_t>(r.stats.simulated_cycles))
+            .wall_seconds(r.wall_seconds)
+            .model_seconds(r.stats.total_seconds(timing)));
+  };
+  row("cycle_accurate", cycle);
+  row("bit_parallel", bit);
+  table.add_note("identical neighbor lists and EngineStats from both "
+                 "backends; speedup = wall(cycle)/wall(bit).");
+  table.print(std::cout);
+  report.write(util::BenchRecord("knn_backend_speedup")
+                   .param("n", static_cast<std::uint64_t>(n))
+                   .param("dims", static_cast<std::uint64_t>(dims))
+                   .param("queries", static_cast<std::uint64_t>(queries_n))
+                   .param("speedup", speedup));
+  std::printf("\nbit-parallel speedup: %.1fx wall-clock "
+              "(target at default sizes: >= 5x)\n", speedup);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  std::size_t n = 1024, dims = 128, queries = 32;
+  if (argc > 1) n = parse_positive(argv[1]);
+  if (argc > 2) dims = parse_positive(argv[2]);
+  if (argc > 3) queries = parse_positive(argv[3]);
+  if (n == 0 || dims == 0 || queries == 0) {
+    std::fprintf(stderr,
+                 "usage: bench_fig8_comparison [n] [dims] [queries]  "
+                 "(positive integers; defaults 1024 128 32)\n");
+    return 2;
+  }
+
+  util::BenchReport report("fig8_comparison");
+  const int grid_rc = run_comparison_grid(report);
+  const int backend_rc = run_backend_comparison(report, n, dims, queries);
+  if (report.ok()) {
+    std::printf("\nrecorded -> %s\n", report.path().c_str());
+  }
+  return grid_rc != 0 ? grid_rc : backend_rc;
+} catch (const std::exception& ex) {
+  std::fprintf(stderr, "error: %s\n", ex.what());
+  return 1;
 }

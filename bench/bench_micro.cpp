@@ -6,12 +6,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "apsim/batch_simulator.hpp"
 #include "apsim/simulator.hpp"
+#include "core/batch_compile.hpp"
 #include "core/engine.hpp"
 #include "core/hamming_macro.hpp"
 #include "core/stream.hpp"
 #include "knn/exact.hpp"
 #include "quant/itq.hpp"
+#include "util/bench_report.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -86,6 +91,37 @@ void BM_SimulatorQueryFrame(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorQueryFrame)->Arg(16)->Arg(128)->Arg(1024);
 
+void BM_BatchSimulatorQueryFrame(benchmark::State& state) {
+  // The bit-parallel counterpart of BM_SimulatorQueryFrame: same network,
+  // same stream, packed 64-macros-per-word execution.
+  const std::size_t n = state.range(0);
+  const auto data = knn::BinaryDataset::uniform(n, 128, 7);
+  anml::AutomataNetwork net;
+  std::vector<core::MacroLayout> layouts;
+  for (std::size_t i = 0; i < n; ++i) {
+    layouts.push_back(core::append_hamming_macro(
+        net, data.vector(i), static_cast<std::uint32_t>(i)));
+  }
+  std::vector<apsim::HammingMacroSlots> slots;
+  for (const auto& layout : layouts) {
+    slots.push_back(core::batch_slots(layout));
+  }
+  apsim::BatchSimulator sim(apsim::BatchProgram::try_compile(net, slots, {}));
+  const core::SymbolStreamEncoder enc(core::StreamSpec{128, 1});
+  const auto query = knn::BinaryDataset::uniform(1, 128, 8);
+  std::vector<std::uint8_t> stream;
+  enc.append_query(query.row(0), stream);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(stream));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          stream.size());
+  state.counters["symbols/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * stream.size(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchSimulatorQueryFrame)->Arg(16)->Arg(128)->Arg(1024);
+
 void BM_EngineSearch(benchmark::State& state) {
   const auto data = knn::BinaryDataset::uniform(256, 64, 9);
   core::ApKnnEngine engine(data);
@@ -109,6 +145,47 @@ void BM_ItqEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_ItqEncode);
 
+/// Console output as usual, plus one BENCH_micro.json line per run:
+/// total/per-iteration wall seconds and any rate counters as params.
+class JsonLinesReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonLinesReporter(util::BenchReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      util::BenchRecord rec(run.benchmark_name());
+      rec.param("iterations", static_cast<std::uint64_t>(run.iterations));
+      if (run.iterations > 0) {
+        rec.param("seconds_per_iteration",
+                  run.real_accumulated_time /
+                      static_cast<double>(run.iterations));
+      }
+      for (const auto& [name, counter] : run.counters) {
+        rec.param(name, static_cast<double>(counter));
+      }
+      rec.wall_seconds(run.real_accumulated_time);
+      report_.write(rec);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  util::BenchReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  util::BenchReport report("micro");
+  JsonLinesReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (report.ok()) {
+    std::printf("recorded -> %s\n", report.path().c_str());
+  }
+  return 0;
+}

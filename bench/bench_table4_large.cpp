@@ -11,10 +11,39 @@
 #include "hwmodels/gpu_model.hpp"
 #include "hwmodels/platforms.hpp"
 #include "perf/projection.hpp"
+#include "util/bench_report.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+/// Records one platform's modeled run time for a workload as a JSON line.
+void record_platform(apss::util::BenchReport& report,
+                     const std::string& workload, const char* platform,
+                     std::size_t dims, double model_seconds,
+                     const apss::perf::ApEstimate* ap = nullptr) {
+  apss::util::BenchRecord rec(workload + "." + platform);
+  rec.param("n", static_cast<std::uint64_t>(apss::perf::kLargeN))
+      .param("dims", static_cast<std::uint64_t>(dims))
+      .param("queries", static_cast<std::uint64_t>(apss::perf::kQueryCount))
+      .model_seconds(model_seconds);
+  if (ap != nullptr) {
+    rec.param("configurations", static_cast<std::uint64_t>(ap->configurations))
+        .param("queries_per_joule", ap->queries_per_joule)
+        .cycles(static_cast<std::uint64_t>(
+            ap->cycles_per_query *
+            static_cast<double>(apss::perf::kQueryCount) *
+            static_cast<double>(ap->configurations)));
+  }
+  report.write(rec);
+}
+
+}  // namespace
 
 int main() {
   using namespace apss;
+  util::BenchReport report("table4_large");
+  util::Timer bench_timer;
 
   util::TablePrinter runtime("Table IV: large-dataset run time (s)");
   runtime.set_header({"Workload", "Xeon", "(paper)", "Titan X", "(paper)",
@@ -51,6 +80,16 @@ int main() {
     const perf::ApEstimate gen2 = perf::estimate_ap(scenario);
     const perf::CompoundGains gains = perf::compound_gains(w);
     const perf::ApEstimate optext = perf::estimate_ap_opt_ext(scenario, gains);
+
+    record_platform(report, w.name, "xeon", w.dims, xeon_s);
+    record_platform(report, w.name, "titan_x", w.dims, titan_s);
+    record_platform(report, w.name, "kintex", w.dims, kintex_s);
+    record_platform(report, w.name, "ap_gen1", w.dims, gen1.total_seconds,
+                    &gen1);
+    record_platform(report, w.name, "ap_gen2", w.dims, gen2.total_seconds,
+                    &gen2);
+    record_platform(report, w.name, "ap_opt_ext", w.dims,
+                    optext.total_seconds, &optext);
 
     runtime.add_row({w.name, util::TablePrinter::fmt(xeon_s, 2),
                      util::TablePrinter::fmt(ref.l_xeon_s, 2),
@@ -103,5 +142,10 @@ int main() {
   breakdown.add_note("Gen1 reconfiguration accounts for the overwhelming "
                      "share of execution (Sec. V-B: 'upwards of 98%').");
   breakdown.print(std::cout);
+  report.write(util::BenchRecord("bench_total")
+                   .wall_seconds(bench_timer.seconds()));
+  if (report.ok()) {
+    std::printf("\nrecorded -> %s\n", report.path().c_str());
+  }
   return 0;
 }

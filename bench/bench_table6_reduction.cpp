@@ -4,7 +4,11 @@
 // query's pooled top-k distance multiset misses the exact answer. The
 // bench also reports the per-query failure rate and the achieved report-
 // bandwidth reduction (~p/k').
+//
+// Usage: bench_table6_reduction [runs] [queries_per_run]  (defaults 100 4096;
+// smoke runs pass small values — the percentages only converge at defaults)
 
+#include <cstdlib>
 #include <iostream>
 
 #include "core/opt/statistical_reduction.hpp"
@@ -13,12 +17,36 @@
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
-int main() {
+namespace {
+
+/// Strict positive decimal parse: rejects signs, suffixes ("1e3"), and
+/// empty/garbage input by returning 0 (the caller's usage trigger).
+std::size_t parse_positive(const char* s) {
+  if (s == nullptr || *s < '0' || *s > '9') {
+    return 0;
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  return *end == '\0' ? static_cast<std::size_t>(v) : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace apss;
   util::ThreadPool pool;
+  std::size_t runs = 100, queries_per_run = 4096;
+  if (argc > 1) runs = parse_positive(argv[1]);
+  if (argc > 2) queries_per_run = parse_positive(argv[2]);
+  if (runs == 0 || queries_per_run == 0) {
+    std::cerr << "usage: bench_table6_reduction [runs] [queries_per_run]  "
+                 "(positive integers; defaults 100 4096)\n";
+    return 2;
+  }
 
   util::TablePrinter table(
-      "Table VI: % incorrect runs (100 runs, p=16, n=1024)");
+      "Table VI: % incorrect runs (" + std::to_string(runs) +
+      " runs, p=16, n=1024)");
   table.set_header({"Workload", "k", "k'=1", "k'=2", "k'=3", "k'=4",
                     "paper k'=1", "paper k'=2", "paper k'=3"});
   util::TablePrinter detail("Per-query failure rate / reports per query");
@@ -42,8 +70,8 @@ int main() {
     params.group_size = 16;
     params.k = w.k;
     params.k_prime = 1;
-    params.queries_per_run = 4096;
-    params.runs = 100;
+    params.queries_per_run = queries_per_run;
+    params.runs = runs;
     params.seed = 77;
 
     util::Timer timer;

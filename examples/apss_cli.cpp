@@ -6,10 +6,12 @@
 //       text through the simulator, and print match-end offsets.
 //   apss_cli anml <file.anml> '<input text>'
 //       Load an ANML network, execute it, and print report events.
-//   apss_cli knn <d> <n> <k> [seed]
+//   apss_cli knn <d> <n> <k> [seed] [--backend=cycle|bit]
 //       Build a random n x d-bit dataset, compile it to Hamming/sorting
 //       macros, run one random query end to end, and print the neighbors
 //       plus the placement report — the whole paper pipeline in one shot.
+//       --backend=bit runs the search on the bit-parallel batch simulator
+//       (docs/SIMULATOR_SEMANTICS.md) instead of the cycle-accurate one.
 
 #include <cstdio>
 #include <cstring>
@@ -17,6 +19,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "anml/anml_io.hpp"
 #include "anml/pcre.hpp"
@@ -70,14 +73,22 @@ int run_anml(const std::string& path, const std::string& text) {
 }
 
 int run_knn(std::size_t dims, std::size_t n, std::size_t k,
-            std::uint64_t seed) {
+            std::uint64_t seed, core::SimulationBackend backend) {
   const auto data = knn::BinaryDataset::uniform(n, dims, seed);
-  core::ApKnnEngine engine(data);
+  core::EngineOptions opt;
+  opt.backend = backend;
+  core::ApKnnEngine engine(data, opt);
   const auto placement = engine.placement(0);
   std::printf("compiled %zu vectors x %zu bits: %zu STEs, %zu blocks, "
               "%s routed\n",
               n, dims, placement.ste_count, placement.blocks_used,
               placement.routed ? "fully" : "PARTIALLY");
+  if (backend == core::SimulationBackend::kBitParallel) {
+    std::printf("backend: bit-parallel (%zu/%zu configurations compiled)\n",
+                engine.bit_parallel_configurations(), engine.configurations());
+  } else {
+    std::printf("backend: cycle-accurate\n");
+  }
 
   auto queries = knn::perturbed_queries(data, 1, 0.1, seed + 1);
   const auto results = engine.search(queries, k);
@@ -96,7 +107,7 @@ void usage() {
                "usage:\n"
                "  apss_cli pcre '<pattern>' '<text>'\n"
                "  apss_cli anml <file.anml> '<text>'\n"
-               "  apss_cli knn <dims> <n> <k> [seed]\n");
+               "  apss_cli knn <dims> <n> <k> [seed] [--backend=cycle|bit]\n");
 }
 
 }  // namespace
@@ -110,11 +121,41 @@ int main(int argc, char** argv) {
       return run_anml(argv[2], argv[3]);
     }
     if (argc >= 5 && std::strcmp(argv[1], "knn") == 0) {
-      const auto dims = static_cast<std::size_t>(std::stoul(argv[2]));
-      const auto n = static_cast<std::size_t>(std::stoul(argv[3]));
-      const auto k = static_cast<std::size_t>(std::stoul(argv[4]));
-      const std::uint64_t seed = argc > 5 ? std::stoull(argv[5]) : 1;
-      return run_knn(dims, n, k, seed);
+      // knn accepts --flags anywhere after the subcommand; pcre/anml take
+      // raw positionals only (patterns/text may legitimately start with --).
+      std::vector<std::string> args;
+      core::SimulationBackend backend =
+          core::SimulationBackend::kCycleAccurate;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--backend=", 0) == 0) {
+          const std::string value = arg.substr(10);
+          if (value == "bit" || value == "bit-parallel") {
+            backend = core::SimulationBackend::kBitParallel;
+          } else if (value == "cycle" || value == "cycle-accurate") {
+            backend = core::SimulationBackend::kCycleAccurate;
+          } else {
+            std::fprintf(stderr, "unknown backend '%s'\n", value.c_str());
+            usage();
+            return 2;
+          }
+        } else if (arg.rfind("--", 0) == 0) {
+          std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+          usage();
+          return 2;
+        } else {
+          args.push_back(arg);
+        }
+      }
+      if (args.size() < 3) {
+        usage();
+        return 2;
+      }
+      const auto dims = static_cast<std::size_t>(std::stoul(args[0]));
+      const auto n = static_cast<std::size_t>(std::stoul(args[1]));
+      const auto k = static_cast<std::size_t>(std::stoul(args[2]));
+      const std::uint64_t seed = args.size() > 3 ? std::stoull(args[3]) : 1;
+      return run_knn(dims, n, k, seed, backend);
     }
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error: %s\n", ex.what());

@@ -1,0 +1,577 @@
+#include "apsim/batch_simulator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <stdexcept>
+
+namespace apss::apsim {
+
+using anml::CounterPort;
+using anml::Element;
+using anml::ElementId;
+using anml::ElementKind;
+using anml::StartKind;
+using anml::SymbolSet;
+
+namespace {
+
+/// Structural role of an element inside the macro set.
+enum class Role : std::uint8_t {
+  kUnassigned,
+  kGuard,
+  kChain,
+  kMatch,
+  kCollector,
+  kBridge,
+  kSort,
+  kEof,
+  kCounter,
+  kReport,
+};
+
+struct Slot {
+  Role role = Role::kUnassigned;
+  std::uint32_t macro = 0;
+  std::uint32_t pos = 0;
+};
+
+/// Returns the only symbol of a single-symbol class, or -1.
+int single_symbol(const SymbolSet& s) {
+  if (s.count() != 1) {
+    return -1;
+  }
+  for (int sym = 0; sym < 256; ++sym) {
+    if (s.test(static_cast<std::uint8_t>(sym))) {
+      return sym;
+    }
+  }
+  return -1;
+}
+
+// Required-out-edge bookkeeping bits (per role; see check loop below).
+constexpr std::uint8_t kSawFirst = 1;    // chain succ / collector parent / ...
+constexpr std::uint8_t kSawSecond = 2;   // match succ / counter enable
+constexpr std::uint8_t kSawThird = 4;    // sort -> eof
+
+}  // namespace
+
+std::shared_ptr<const BatchProgram> BatchProgram::try_compile(
+    const anml::AutomataNetwork& network,
+    std::span<const HammingMacroSlots> macros, SimOptions options,
+    std::string* reason) {
+  const auto fail = [&](const std::string& why) {
+    if (reason != nullptr) {
+      *reason = why;
+    }
+    return std::shared_ptr<const BatchProgram>{};
+  };
+
+  if (options.max_counter_increment != 1) {
+    return fail("bit-parallel backend requires max_counter_increment == 1 "
+                "(enables must OR together)");
+  }
+  if (macros.empty()) {
+    return fail("no macros");
+  }
+  const std::size_t n = macros.size();
+  const std::size_t dims = macros[0].match.size();
+  const std::size_t levels = macros[0].collector_levels;
+  if (dims == 0) {
+    return fail("macro has zero dimensions");
+  }
+  if (levels == 0 || levels > 63) {
+    return fail("collector depth outside [1, 63]");
+  }
+
+  // --- Assign every element a (role, macro, position) ----------------------
+  std::vector<Slot> slots(network.size());
+  const auto assign = [&](ElementId id, Role role, std::size_t macro,
+                          std::size_t pos) {
+    if (id >= network.size() || slots[id].role != Role::kUnassigned) {
+      return false;
+    }
+    slots[id] = {role, static_cast<std::uint32_t>(macro),
+                 static_cast<std::uint32_t>(pos)};
+    return true;
+  };
+  for (std::size_t m = 0; m < n; ++m) {
+    const HammingMacroSlots& s = macros[m];
+    if (s.match.size() != dims || s.chain.size() != dims ||
+        s.collector_levels != levels || s.bridge.size() != levels) {
+      return fail("macros are not structurally identical");
+    }
+    bool ok = assign(s.guard, Role::kGuard, m, 0) &&
+              assign(s.sort_state, Role::kSort, m, 0) &&
+              assign(s.eof_state, Role::kEof, m, 0) &&
+              assign(s.counter, Role::kCounter, m, 0) &&
+              assign(s.report, Role::kReport, m, 0);
+    for (std::size_t i = 0; ok && i < dims; ++i) {
+      ok = assign(s.chain[i], Role::kChain, m, i) &&
+           assign(s.match[i], Role::kMatch, m, i);
+    }
+    for (std::size_t i = 0; ok && i < s.collectors.size(); ++i) {
+      ok = assign(s.collectors[i], Role::kCollector, m, i);
+    }
+    for (std::size_t i = 0; ok && i < levels; ++i) {
+      ok = assign(s.bridge[i], Role::kBridge, m, i);
+    }
+    if (!ok) {
+      return fail("macro slot ids out of range or shared between macros");
+    }
+  }
+  for (ElementId id = 0; id < network.size(); ++id) {
+    if (slots[id].role == Role::kUnassigned) {
+      return fail("network contains elements outside the macro set");
+    }
+  }
+
+  // --- Element property checks + match-class discovery ---------------------
+  int sof = -1;
+  int eof = -1;
+  std::vector<SymbolSet> classes;  // at most two distinct match classes
+  for (ElementId id = 0; id < network.size(); ++id) {
+    const Element& e = network.element(id);
+    const Role role = slots[id].role;
+    const bool is_counter = role == Role::kCounter;
+    if (!is_counter && e.kind != ElementKind::kSte) {
+      return fail("non-STE element in an STE slot");
+    }
+    if (!is_counter && e.start !=
+        (role == Role::kGuard ? StartKind::kAllInput : StartKind::kNone)) {
+      return fail("unexpected start kind");
+    }
+    if (e.reporting != (role == Role::kReport)) {
+      return fail("reporting flag on an unexpected element");
+    }
+    switch (role) {
+      case Role::kGuard: {
+        const int sym = single_symbol(e.symbols);
+        if (sym < 0 || (sof >= 0 && sym != sof)) {
+          return fail("guard class is not one uniform symbol");
+        }
+        sof = sym;
+        break;
+      }
+      case Role::kEof: {
+        const int sym = single_symbol(e.symbols);
+        if (sym < 0 || (eof >= 0 && sym != eof)) {
+          return fail("eof class is not one uniform symbol");
+        }
+        eof = sym;
+        break;
+      }
+      case Role::kMatch: {
+        if (std::find(classes.begin(), classes.end(), e.symbols) ==
+            classes.end()) {
+          classes.push_back(e.symbols);
+          if (classes.size() > 2) {
+            return fail("more than two distinct match classes");
+          }
+        }
+        break;
+      }
+      case Role::kChain:
+      case Role::kCollector:
+      case Role::kBridge:
+      case Role::kReport:
+        if (!e.symbols.is_all()) {
+          return fail("backbone/collector/bridge/report class must be *");
+        }
+        break;
+      case Role::kSort:
+        break;  // checked against eof below
+      case Role::kCounter:
+        if (e.kind != ElementKind::kCounter ||
+            e.mode != anml::CounterMode::kPulse ||
+            e.threshold != static_cast<std::uint32_t>(dims)) {
+          return fail("counter is not pulse-mode with threshold == dims");
+        }
+        break;
+      case Role::kUnassigned:
+        break;
+    }
+  }
+  if (sof < 0 || eof < 0 || sof == eof) {
+    return fail("guard/eof symbols missing or identical");
+  }
+  for (std::size_t m = 0; m < n; ++m) {
+    if (!(network.element(macros[m].sort_state).symbols ==
+          SymbolSet::all_except(static_cast<std::uint8_t>(eof)))) {
+      return fail("sort class must be all-except-eof");
+    }
+  }
+
+  // --- Edge checks ----------------------------------------------------------
+  // Every edge must be one of the macro's internal connections; collector
+  // levels are recomputed from the wiring so the delay-line equivalence
+  // (every match -> counter path has length exactly L) is verified, not
+  // assumed.
+  std::vector<std::uint8_t> saw(network.size(), 0);
+  std::vector<std::int32_t> collector_level(network.size(), -1);
+  std::vector<std::vector<ElementId>> collector_in(network.size());
+  for (const anml::Edge& edge : network.edges()) {
+    if (edge.from >= network.size() || edge.to >= network.size()) {
+      return fail("edge endpoint out of range");
+    }
+    const Slot& a = slots[edge.from];
+    const Slot& b = slots[edge.to];
+    if (a.macro != b.macro) {
+      return fail("edge crosses macros");
+    }
+    const bool reset_port = edge.port == CounterPort::kReset;
+    if (edge.port == CounterPort::kThreshold) {
+      return fail("dynamic-threshold edge");
+    }
+    bool legal = false;
+    switch (a.role) {
+      case Role::kGuard:
+        legal = (b.role == Role::kChain || b.role == Role::kMatch) &&
+                b.pos == 0 && !reset_port;
+        if (legal) {
+          saw[edge.from] |= b.role == Role::kChain ? kSawFirst : kSawSecond;
+        }
+        break;
+      case Role::kChain:
+        if (a.pos + 1 < dims) {
+          legal = (b.role == Role::kChain || b.role == Role::kMatch) &&
+                  b.pos == a.pos + 1 && !reset_port;
+          if (legal) {
+            saw[edge.from] |= b.role == Role::kChain ? kSawFirst : kSawSecond;
+          }
+        } else {
+          legal = b.role == Role::kBridge && b.pos == 0 && !reset_port;
+          if (legal) {
+            saw[edge.from] |= kSawFirst;
+          }
+        }
+        break;
+      case Role::kMatch:
+        legal = b.role == Role::kCollector && !reset_port;
+        if (legal) {
+          saw[edge.from] |= kSawFirst;
+          collector_in[edge.to].push_back(edge.from);
+        }
+        break;
+      case Role::kCollector:
+        legal = (b.role == Role::kCollector || b.role == Role::kCounter) &&
+                !reset_port;
+        if (legal) {
+          saw[edge.from] |= kSawFirst;
+          if (b.role == Role::kCollector) {
+            collector_in[edge.to].push_back(edge.from);
+          } else {
+            saw[edge.from] |= kSawSecond;  // root: feeds the counter directly
+          }
+        }
+        break;
+      case Role::kBridge:
+        if (a.pos + 1 < levels) {
+          legal = b.role == Role::kBridge && b.pos == a.pos + 1 && !reset_port;
+        } else {
+          legal = b.role == Role::kSort && !reset_port;
+        }
+        if (legal) {
+          saw[edge.from] |= kSawFirst;
+        }
+        break;
+      case Role::kSort:
+        legal = !reset_port &&
+                ((b.role == Role::kSort && edge.to == edge.from) ||
+                 b.role == Role::kCounter || b.role == Role::kEof);
+        if (legal) {
+          saw[edge.from] |= b.role == Role::kSort    ? kSawFirst
+                            : b.role == Role::kCounter ? kSawSecond
+                                                       : kSawThird;
+        }
+        break;
+      case Role::kEof:
+        legal = b.role == Role::kCounter && reset_port;
+        if (legal) {
+          saw[edge.from] |= kSawFirst;
+        }
+        break;
+      case Role::kCounter:
+        legal = b.role == Role::kReport && !reset_port;
+        if (legal) {
+          saw[edge.from] |= kSawFirst;
+        }
+        break;
+      case Role::kReport:
+      case Role::kUnassigned:
+        legal = false;
+        break;
+    }
+    if (!legal) {
+      return fail("unexpected edge for the Hamming/sorting macro shape");
+    }
+  }
+
+  // Collector depth: slots list collectors in creation order (level by
+  // level), so inputs are always assigned before their parent is visited.
+  for (std::size_t m = 0; m < n; ++m) {
+    for (const ElementId c : macros[m].collectors) {
+      if (collector_in[c].empty()) {
+        return fail("collector with no inputs");
+      }
+      std::int32_t level = -2;
+      for (const ElementId src : collector_in[c]) {
+        const std::int32_t in_level =
+            slots[src].role == Role::kMatch ? 0 : collector_level[src];
+        if (in_level < 0 || (level != -2 && in_level != level)) {
+          return fail("collector tree depth is not uniform");
+        }
+        level = in_level;
+      }
+      collector_level[c] = level + 1;
+      const bool is_root = (saw[c] & kSawSecond) != 0;
+      if (is_root != (collector_level[c] == static_cast<std::int32_t>(levels))) {
+        return fail("collector root depth != collector_levels");
+      }
+    }
+  }
+
+  // Required out-edges present?
+  for (ElementId id = 0; id < network.size(); ++id) {
+    std::uint8_t need = 0;
+    switch (slots[id].role) {
+      case Role::kGuard: need = kSawFirst | kSawSecond; break;
+      case Role::kChain:
+        need = slots[id].pos + 1 < dims ? (kSawFirst | kSawSecond) : kSawFirst;
+        break;
+      case Role::kMatch: need = kSawFirst; break;
+      case Role::kCollector: need = kSawFirst; break;
+      case Role::kBridge: need = kSawFirst; break;
+      case Role::kSort: need = kSawFirst | kSawSecond | kSawThird; break;
+      case Role::kEof: need = kSawFirst; break;
+      case Role::kCounter: need = kSawFirst; break;
+      case Role::kReport:
+      case Role::kUnassigned: need = 0; break;
+    }
+    if ((saw[id] & need) != need) {
+      return fail("macro is missing a required connection");
+    }
+  }
+
+  // --- Compile --------------------------------------------------------------
+  auto prog = std::shared_ptr<BatchProgram>(new BatchProgram());
+  prog->macro_count_ = n;
+  prog->dims_ = dims;
+  prog->levels_ = levels;
+  prog->words_ = (n + 63) / 64;
+  prog->dim_words_ = (dims + 63) / 64;
+  prog->valid_tail_ = (n % 64) ? (std::uint64_t{1} << (n % 64)) - 1
+                               : ~std::uint64_t{0};
+  prog->chain_tail_ = (dims % 64) ? (std::uint64_t{1} << (dims % 64)) - 1
+                                  : ~std::uint64_t{0};
+  prog->sof_ = static_cast<std::uint8_t>(sof);
+  prog->eof_ = static_cast<std::uint8_t>(eof);
+
+  const SymbolSet empty;
+  const SymbolSet& class0 = classes[0];
+  const SymbolSet& class1 = classes.size() > 1 ? classes[1] : empty;
+  for (int sym = 0; sym < 256; ++sym) {
+    const auto s = static_cast<std::uint8_t>(sym);
+    prog->sym_kind_[s] = static_cast<std::uint8_t>(
+        (class0.test(s) ? 1u : 0u) | (class1.test(s) ? 2u : 0u));
+  }
+  prog->dim_class1_.assign(dims * prog->words_, 0);
+  prog->report_elem_.resize(n);
+  prog->report_code_.resize(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    prog->report_elem_[m] = macros[m].report;
+    prog->report_code_[m] = network.element(macros[m].report).report_code;
+    for (std::size_t i = 0; i < dims; ++i) {
+      if (classes.size() > 1 &&
+          network.element(macros[m].match[i]).symbols == class1) {
+        prog->dim_class1_[i * prog->words_ + m / 64] |= std::uint64_t{1}
+                                                        << (m % 64);
+      }
+    }
+  }
+
+  // Counter planes: biased so that count >= dims <=> a bit at plane >= P.
+  const auto p = static_cast<std::uint32_t>(std::bit_width(dims - 1));
+  prog->cond_plane_ = p;
+  prog->planes_ = p + 2;
+  prog->bias_ = (std::uint64_t{1} << p) - dims;
+  return prog;
+}
+
+BatchSimulator::BatchSimulator(std::shared_ptr<const BatchProgram> program)
+    : program_(std::move(program)) {
+  if (program_ == nullptr) {
+    throw std::invalid_argument(
+        "BatchSimulator: null program (try_compile declined?)");
+  }
+  const BatchProgram& p = *program_;
+  chain_.assign(p.dim_words_, 0);
+  match_ring_.assign(p.levels_ * p.words_, 0);
+  planes_.assign(p.planes_ * p.words_, 0);
+  cond_prev_.assign(p.words_, 0);
+  pulse_.assign(p.words_, 0);
+  counter_out_.assign(p.words_, 0);
+  match_scratch_.assign(p.words_, 0);
+  reset();
+}
+
+void BatchSimulator::reset() {
+  const BatchProgram& p = *program_;
+  cycle_ = 0;
+  guard_prev_ = false;
+  sort_prev_ = false;
+  bridge_ = 0;
+  ring_pos_ = 0;
+  std::fill(chain_.begin(), chain_.end(), 0);
+  std::fill(match_ring_.begin(), match_ring_.end(), 0);
+  std::fill(cond_prev_.begin(), cond_prev_.end(), 0);
+  std::fill(pulse_.begin(), pulse_.end(), 0);
+  std::fill(counter_out_.begin(), counter_out_.end(), 0);
+  for (std::uint32_t q = 0; q < p.planes_; ++q) {
+    const bool bias_bit = (p.bias_ >> q) & 1;
+    for (std::size_t w = 0; w < p.words_; ++w) {
+      planes_[q * p.words_ + w] = bias_bit ? p.valid_word(w) : 0;
+    }
+  }
+  reports_.clear();
+}
+
+void BatchSimulator::step(std::uint8_t symbol) {
+  const BatchProgram& p = *program_;
+  const std::size_t words = p.words_;
+  ++cycle_;
+
+  // 1. Report states: enabled by the counter outputs of the previous cycle
+  //    and matching every symbol. Ascending macro order matches the
+  //    reference simulator's counter-slot propagation order.
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t bits = counter_out_[w];
+    while (bits != 0) {
+      const std::size_t m = w * 64 + static_cast<std::size_t>(
+                                          std::countr_zero(bits));
+      bits &= bits - 1;
+      reports_.push_back({cycle_, p.report_elem_[m], p.report_code_[m]});
+    }
+  }
+  // 2. Counter outputs THIS cycle = the pulses staged at the end of the
+  //    previous cycle (pulse mode: one cycle, then gone).
+  counter_out_.swap(pulse_);
+
+  // 3. Scalar (macro-uniform) state: guard, backbone wavefronts, bridge,
+  //    sort, eof. The backbone doubles as the match-enable mask: dim i's
+  //    matching state shares its predecessor with chain state i.
+  const bool guard_now = symbol == p.sof_;
+  const std::uint64_t chain_top =
+      (chain_[p.dim_words_ - 1] >> ((p.dims_ - 1) & 63)) & 1;
+  std::uint64_t carry = guard_prev_ ? 1 : 0;
+  for (std::size_t w = 0; w < p.dim_words_; ++w) {
+    const std::uint64_t next_carry = chain_[w] >> 63;
+    chain_[w] = (chain_[w] << 1) | carry;
+    carry = next_carry;
+  }
+  chain_[p.dim_words_ - 1] &= p.chain_tail_;
+  guard_prev_ = guard_now;
+
+  const bool bridge_out = (bridge_ >> (p.levels_ - 1)) & 1;
+  const bool sort_now = symbol != p.eof_ && (bridge_out || sort_prev_);
+  const bool eof_now = symbol == p.eof_ && sort_prev_;
+  bridge_ = ((bridge_ << 1) | chain_top) &
+            ((std::uint64_t{1} << p.levels_) - 1);
+
+  // 4. Packed match word: OR the per-dimension macro masks of every enabled
+  //    dimension (usually exactly one — the wavefront position).
+  std::fill(match_scratch_.begin(), match_scratch_.end(), 0);
+  const std::uint8_t kind = p.sym_kind_[symbol];
+  if (kind != 0) {
+    bool any = false;
+    bool negated = false;
+    for (std::size_t w = 0; w < p.dim_words_; ++w) {
+      std::uint64_t bits = chain_[w];
+      while (bits != 0) {
+        const std::size_t dim = w * 64 + static_cast<std::size_t>(
+                                             std::countr_zero(bits));
+        bits &= bits - 1;
+        any = true;
+        if (kind == 3) {
+          break;  // both classes accept: every macro matches
+        }
+        const std::uint64_t* row = &p.dim_class1_[dim * words];
+        if (kind == 2) {
+          for (std::size_t i = 0; i < words; ++i) {
+            match_scratch_[i] |= row[i];
+          }
+        } else {  // kind == 1: macros using the first class = complement
+          negated = true;
+          for (std::size_t i = 0; i < words; ++i) {
+            match_scratch_[i] |= ~row[i];
+          }
+        }
+      }
+      if (any && kind == 3) {
+        break;
+      }
+    }
+    if (any && kind == 3) {
+      for (std::size_t i = 0; i < words; ++i) {
+        match_scratch_[i] = p.valid_word(i);
+      }
+    } else if (negated) {
+      match_scratch_[words - 1] &= p.valid_tail_;
+    }
+  }
+
+  // 5. Counter updates. The collector tree delays the ORed match word by L
+  //    cycles (ring buffer); the sort/eof states add uniform enable/reset.
+  //    Counts are bit-sliced: ripple-carry add of the packed increment mask,
+  //    saturating adds past the top plane (only >= threshold is observable).
+  std::uint64_t* ring = &match_ring_[ring_pos_ * words];
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t roots = ring[w];
+    ring[w] = match_scratch_[w];
+    const std::uint64_t reset = eof_now ? p.valid_word(w) : 0;
+    const std::uint64_t inc =
+        (roots | (sort_now ? p.valid_word(w) : 0)) & ~reset;
+    std::uint64_t add = inc;
+    for (std::uint32_t q = 0; q < p.planes_ && add != 0; ++q) {
+      std::uint64_t& plane = planes_[q * words + w];
+      const std::uint64_t sum = plane ^ add;
+      add &= plane;
+      plane = sum;
+    }
+    if (add != 0) {  // overflow: pin the count at its (>= threshold) max
+      for (std::uint32_t q = 0; q < p.planes_; ++q) {
+        planes_[q * words + w] |= add;
+      }
+    }
+    if (reset != 0) {
+      for (std::uint32_t q = 0; q < p.planes_; ++q) {
+        std::uint64_t& plane = planes_[q * words + w];
+        plane = (plane & ~reset) | (((p.bias_ >> q) & 1) ? reset : 0);
+      }
+    }
+    const std::uint64_t cond = planes_[p.cond_plane_ * words + w] |
+                               planes_[(p.cond_plane_ + 1) * words + w];
+    pulse_[w] = cond & ~cond_prev_[w];  // rising edge -> pulse next cycle
+    cond_prev_[w] = cond;
+  }
+  ring_pos_ = (ring_pos_ + 1) % p.levels_;
+  sort_prev_ = sort_now;
+}
+
+std::vector<ReportEvent> BatchSimulator::run(
+    std::span<const std::uint8_t> stream) {
+  reset();
+  return run_continue(stream);
+}
+
+std::vector<ReportEvent> BatchSimulator::run_continue(
+    std::span<const std::uint8_t> stream) {
+  const std::size_t first_new = reports_.size();
+  for (const std::uint8_t symbol : stream) {
+    step(symbol);
+  }
+  return {reports_.begin() + static_cast<std::ptrdiff_t>(first_new),
+          reports_.end()};
+}
+
+}  // namespace apss::apsim

@@ -1,0 +1,165 @@
+#pragma once
+// Bit-parallel batch execution of homogeneous Hamming/sorting macro
+// configurations (the Simultaneous-FA idea applied to the paper's Sec. III
+// design): because every macro in a board configuration is structurally
+// identical, the per-macro state fits ONE BIT per element slot, and a whole
+// configuration advances with word-wide AND/OR/shift operations — 64 macros
+// per machine word per operation.
+//
+// What makes this exact (see docs/SIMULATOR_SEMANTICS.md for the contract):
+//
+//  * The "*" backbone, guard, bridge, sort and EOF states match classes that
+//    do not depend on the encoded vector, so their activity is IDENTICAL
+//    across macros — a handful of scalar bits per cycle.
+//  * Only the per-dimension matching states differ between macros, and each
+//    dimension uses one of at most two symbol classes (bit = 0 / bit = 1).
+//    A per-dimension macro bitmask plus a 256-entry symbol classifier yields
+//    the packed match word in O(words) per enabled dimension.
+//  * With the stock per-cycle counter-increment cap of 1, simultaneous
+//    count-enable inputs OR together, so the collector reduction tree is
+//    exactly an L-cycle delay line on the OR of the matching states: the
+//    packed match word is pushed through a ring buffer of L word-vectors.
+//  * The distance counters are bit-sliced: counts live in bit planes biased
+//    by 2^P - threshold, so "count >= threshold" is a read of the top
+//    planes, an increment is a ripple-carry add of a packed mask, and
+//    counters that run past the representable range saturate (legal, since
+//    only the >= threshold predicate and reset are observable here).
+//
+// The program compiler verifies all of this structurally and refuses
+// anything else (counters with caps > 1, boolean gates, dynamic thresholds,
+// foreign elements, irregular collector trees...): callers fall back to the
+// cycle-accurate apsim::Simulator, which stays the semantic reference.
+// BatchSimulator emits bit-identical ReportEvent streams, including
+// within-cycle ordering (ascending macro index, matching the reference
+// simulator's counter-slot propagation order).
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "anml/network.hpp"
+#include "apsim/simulator.hpp"
+
+namespace apss::apsim {
+
+/// Element ids of one Hamming/sorting macro inside a configuration network
+/// (a layering-neutral mirror of core::MacroLayout; see
+/// core::batch_slots()). Spans must stay valid for the try_compile call
+/// only.
+struct HammingMacroSlots {
+  anml::ElementId guard = anml::kInvalidElement;
+  std::span<const anml::ElementId> chain;       ///< "*" backbone, one per dim
+  std::span<const anml::ElementId> match;       ///< matching state per dim
+  std::span<const anml::ElementId> collectors;  ///< reduction-tree nodes
+  std::span<const anml::ElementId> bridge;      ///< sort-alignment delay chain
+  anml::ElementId sort_state = anml::kInvalidElement;
+  anml::ElementId eof_state = anml::kInvalidElement;
+  anml::ElementId counter = anml::kInvalidElement;
+  anml::ElementId report = anml::kInvalidElement;
+  std::size_t collector_levels = 1;  ///< tree depth L
+};
+
+/// Immutable compiled form of one configuration: per-symbol classifier,
+/// per-dimension macro bitmasks, report identities, counter plane layout.
+/// Shareable across threads; each worker wraps it in its own
+/// BatchSimulator.
+class BatchProgram {
+ public:
+  /// Verifies that (network, macros) is a supported homogeneous
+  /// Hamming/sorting configuration under `options` and compiles it.
+  /// Returns nullptr (and fills *reason when non-null) if any structural or
+  /// feature requirement fails — callers then use the cycle-accurate
+  /// Simulator.
+  static std::shared_ptr<const BatchProgram> try_compile(
+      const anml::AutomataNetwork& network,
+      std::span<const HammingMacroSlots> macros, SimOptions options,
+      std::string* reason = nullptr);
+
+  std::size_t macro_count() const noexcept { return macro_count_; }
+  std::size_t dims() const noexcept { return dims_; }
+  std::size_t collector_levels() const noexcept { return levels_; }
+  /// 64-bit words per packed macro mask.
+  std::size_t words() const noexcept { return words_; }
+  /// Bit planes held per counter (bias + saturation headroom).
+  std::size_t counter_planes() const noexcept { return planes_; }
+
+ private:
+  friend class BatchSimulator;
+  BatchProgram() = default;
+
+  std::uint64_t valid_word(std::size_t w) const noexcept {
+    return w + 1 == words_ ? valid_tail_ : ~std::uint64_t{0};
+  }
+
+  std::size_t macro_count_ = 0;
+  std::size_t dims_ = 0;
+  std::size_t levels_ = 1;
+  std::size_t words_ = 0;      ///< words per packed macro mask
+  std::size_t dim_words_ = 0;  ///< words per packed dimension (chain) mask
+  std::uint64_t valid_tail_ = 0;  ///< live bits of the last macro word
+  std::uint64_t chain_tail_ = 0;  ///< live bits of the last chain word
+  std::uint8_t sof_ = 0;          ///< guard symbol (single-symbol class)
+  std::uint8_t eof_ = 0;          ///< reset symbol (single-symbol class)
+  /// Per-symbol classifier: bit 0 = the first match class accepts the
+  /// symbol, bit 1 = the second match class accepts it.
+  std::array<std::uint8_t, 256> sym_kind_{};
+  /// dims_ x words_: bit j of row i = macro j's dim-i matching state uses
+  /// the SECOND match class.
+  std::vector<std::uint64_t> dim_class1_;
+  std::vector<anml::ElementId> report_elem_;  ///< per macro
+  std::vector<std::uint32_t> report_code_;    ///< per macro
+  std::uint32_t planes_ = 0;      ///< Q: bit planes per counter
+  std::uint32_t cond_plane_ = 0;  ///< P: planes >= P <=> count >= threshold
+  std::uint64_t bias_ = 0;        ///< 2^P - threshold, loaded on reset
+};
+
+/// Executes a BatchProgram with the same streaming interface and the same
+/// ReportEvent output as the cycle-accurate Simulator. Cheap to construct
+/// (dynamic state only); create one per worker thread.
+class BatchSimulator {
+ public:
+  /// Throws std::invalid_argument on a null program (i.e. a try_compile
+  /// result that declined — callers must fall back, not construct).
+  explicit BatchSimulator(std::shared_ptr<const BatchProgram> program);
+
+  /// Returns to the pre-stream state (cycle 0, all counts zero).
+  void reset();
+
+  /// Consumes one symbol; advances to the next cycle.
+  void step(std::uint8_t symbol);
+
+  /// reset() + step over the whole stream; returns collected reports.
+  std::vector<ReportEvent> run(std::span<const std::uint8_t> stream);
+
+  /// Runs WITHOUT resetting first — streams are concatenable, matching
+  /// Simulator::run_continue.
+  std::vector<ReportEvent> run_continue(std::span<const std::uint8_t> stream);
+
+  std::uint64_t cycle() const noexcept { return cycle_; }
+  const std::vector<ReportEvent>& reports() const noexcept { return reports_; }
+  void clear_reports() { reports_.clear(); }
+  const BatchProgram& program() const noexcept { return *program_; }
+
+ private:
+  std::shared_ptr<const BatchProgram> program_;
+
+  std::uint64_t cycle_ = 0;
+  bool guard_prev_ = false;  ///< guard output last cycle (scalar: uniform)
+  bool sort_prev_ = false;   ///< sort-state output last cycle
+  std::uint64_t bridge_ = 0;  ///< bridge-chain outputs last cycle, bit k = slot k
+  std::vector<std::uint64_t> chain_;  ///< backbone outputs, bit i = dim i
+  /// Ring of the last L packed match words (the collector delay line).
+  std::vector<std::uint64_t> match_ring_;
+  std::size_t ring_pos_ = 0;
+  std::vector<std::uint64_t> planes_;     ///< Q x words: bit-sliced counts
+  std::vector<std::uint64_t> cond_prev_;  ///< count condition last cycle
+  std::vector<std::uint64_t> pulse_;      ///< staged counter pulse
+  std::vector<std::uint64_t> counter_out_;  ///< counter outputs last cycle
+  std::vector<std::uint64_t> match_scratch_;
+  std::vector<ReportEvent> reports_;
+};
+
+}  // namespace apss::apsim

@@ -1,0 +1,22 @@
+#pragma once
+// Bridge from the Hamming macro builder to the bit-parallel backend: views
+// a core::MacroLayout as the layering-neutral apsim::HammingMacroSlots that
+// apsim::BatchProgram::try_compile consumes. Lives apart from
+// hamming_macro.hpp so macro construction does not drag in the simulator
+// headers.
+
+#include "apsim/batch_simulator.hpp"
+#include "core/hamming_macro.hpp"
+
+namespace apss::core {
+
+/// Layout view consumed by apsim::BatchProgram::try_compile. The spans
+/// alias `layout`, which must outlive the returned value.
+inline apsim::HammingMacroSlots batch_slots(const MacroLayout& layout) {
+  return {layout.guard,      layout.chain,     layout.match,
+          layout.collectors, layout.bridge,    layout.sort_state,
+          layout.eof_state,  layout.counter,   layout.report,
+          layout.collector_levels};
+}
+
+}  // namespace apss::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/batch_compile.hpp"
 #include "core/temporal_decode.hpp"
 
 namespace apss::core {
@@ -31,7 +32,10 @@ ApKnnEngine::ApKnnEngine(knn::BinaryDataset dataset, EngineOptions options)
     capacity_ = std::min(capacity_, options_.max_vectors_per_config);
   }
 
-  // Compile one automata network per board configuration.
+  // Compile one automata network per board configuration. When the
+  // bit-parallel backend is requested, each configuration is additionally
+  // compiled into a packed BatchProgram; failures leave `program` null and
+  // that configuration runs on the cycle-accurate simulator.
   for (std::size_t begin = 0; begin < dataset_.size(); begin += capacity_) {
     const std::size_t count = std::min(capacity_, dataset_.size() - begin);
     Partition p;
@@ -39,16 +43,35 @@ ApKnnEngine::ApKnnEngine(knn::BinaryDataset dataset, EngineOptions options)
     p.count = count;
     p.network = std::make_unique<anml::AutomataNetwork>(
         "config" + std::to_string(partitions_.size()));
+    std::vector<MacroLayout> layouts;
+    layouts.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
-      const auto layout = append_hamming_macro(
+      layouts.push_back(append_hamming_macro(
           *p.network, dataset_.vector(begin + i),
-          static_cast<std::uint32_t>(begin + i), options_.macro);
-      if (layout.collector_levels != spec_.collector_levels) {
+          static_cast<std::uint32_t>(begin + i), options_.macro));
+      if (layouts.back().collector_levels != spec_.collector_levels) {
         throw std::logic_error("ApKnnEngine: inconsistent collector depth");
       }
     }
+    if (options_.backend == SimulationBackend::kBitParallel) {
+      std::vector<apsim::HammingMacroSlots> slots;
+      slots.reserve(count);
+      for (const MacroLayout& layout : layouts) {
+        slots.push_back(batch_slots(layout));
+      }
+      p.program = apsim::BatchProgram::try_compile(
+          *p.network, slots, apsim::SimOptions::from(options_.device.features));
+    }
     partitions_.push_back(std::move(p));
   }
+}
+
+std::size_t ApKnnEngine::bit_parallel_configurations() const noexcept {
+  std::size_t n = 0;
+  for (const Partition& p : partitions_) {
+    n += p.program != nullptr;
+  }
+  return n;
 }
 
 apsim::PlacementResult ApKnnEngine::placement(std::size_t i) const {
@@ -108,14 +131,20 @@ std::vector<std::vector<knn::Neighbor>> ApKnnEngine::search(
   const auto run_task = [&](std::size_t t) {
     Task& task = tasks[t];
     const Partition& part = partitions_[task.config];
-    apsim::Simulator sim(*part.network,
-                         apsim::SimOptions::from(options_.device.features));
     std::vector<std::uint8_t> stream;
     stream.reserve(task.q_count * spec_.cycles_per_query());
     for (std::size_t i = 0; i < task.q_count; ++i) {
       encoder.append_query(queries.row(task.q_begin + i), stream);
     }
-    const auto events = sim.run(stream);
+    std::vector<apsim::ReportEvent> events;
+    if (part.program != nullptr) {
+      apsim::BatchSimulator sim(part.program);
+      events = sim.run(stream);
+    } else {
+      apsim::Simulator sim(*part.network,
+                           apsim::SimOptions::from(options_.device.features));
+      events = sim.run(stream);
+    }
     task.report_events = events.size();
     const TemporalSortDecoder decoder(spec_, task.q_count);
     task.partial = decoder.decode(events, k);

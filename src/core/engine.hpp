@@ -19,7 +19,24 @@
 #include "knn/exact.hpp"
 #include "util/thread_pool.hpp"
 
+namespace apss::apsim {
+class BatchProgram;  // compiled bit-parallel form (apsim/batch_simulator.hpp)
+}  // namespace apss::apsim
+
 namespace apss::core {
+
+/// Which simulator executes the compiled configurations in search().
+enum class SimulationBackend {
+  /// The frontier-based reference simulator (apsim::Simulator): supports
+  /// every element kind and device feature; the semantic ground truth.
+  kCycleAccurate,
+  /// The packed 64-macros-per-word fast path (apsim::BatchSimulator).
+  /// Bit-identical report streams on homogeneous Hamming configurations;
+  /// any configuration it cannot prove supported (counters capped above 1
+  /// increment/cycle, boolean gates, dynamic thresholds, foreign elements)
+  /// silently falls back to the cycle-accurate simulator.
+  kBitParallel,
+};
 
 struct EngineOptions {
   apsim::DeviceConfig device = apsim::DeviceConfig::gen1();
@@ -35,6 +52,8 @@ struct EngineOptions {
   util::ThreadPool* pool = nullptr;
   /// Queries per simulator instance when parallelizing a batch.
   std::size_t queries_per_chunk = 64;
+  /// Simulation backend (default: the cycle-accurate reference).
+  SimulationBackend backend = SimulationBackend::kCycleAccurate;
 };
 
 /// Cycle/report accounting for the device-time model (Sec. V).
@@ -45,6 +64,8 @@ struct EngineStats {
   std::size_t queries = 0;
   std::size_t simulated_cycles = 0;  ///< total across configurations
   std::size_t report_events = 0;
+
+  bool operator==(const EngineStats&) const = default;
 
   /// Device busy time: every configuration streams every query.
   double compute_seconds(const apsim::DeviceTiming& t) const {
@@ -78,6 +99,10 @@ class ApKnnEngine {
   std::size_t capacity_per_config() const noexcept { return capacity_; }
   const StreamSpec& stream_spec() const noexcept { return spec_; }
 
+  /// Number of configurations the bit-parallel backend compiled (0 when the
+  /// backend is kCycleAccurate or every configuration fell back).
+  std::size_t bit_parallel_configurations() const noexcept;
+
   /// The compiled automata network of configuration `i` (for inspection,
   /// ANML export, and resource benches).
   const anml::AutomataNetwork& network(std::size_t i) const {
@@ -100,6 +125,8 @@ class ApKnnEngine {
     std::size_t begin = 0;  ///< first global vector id
     std::size_t count = 0;
     std::unique_ptr<anml::AutomataNetwork> network;
+    /// Compiled bit-parallel program; null = use the cycle-accurate path.
+    std::shared_ptr<const apsim::BatchProgram> program;
   };
 
   knn::BinaryDataset dataset_;

@@ -1,0 +1,128 @@
+#include "util/bench_report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace apss::util {
+
+namespace {
+
+std::string json_string(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) {
+    return "null";  // JSON has no inf/nan
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchRecord& BenchRecord::param(std::string_view key, std::string_view value) {
+  params_.emplace_back(std::string(key), json_string(value));
+  return *this;
+}
+
+BenchRecord& BenchRecord::param(std::string_view key, double value) {
+  params_.emplace_back(std::string(key), json_number(value));
+  return *this;
+}
+
+BenchRecord& BenchRecord::param(std::string_view key, std::uint64_t value) {
+  params_.emplace_back(std::string(key), std::to_string(value));
+  return *this;
+}
+
+BenchRecord& BenchRecord::param(std::string_view key, std::int64_t value) {
+  params_.emplace_back(std::string(key), std::to_string(value));
+  return *this;
+}
+
+BenchRecord& BenchRecord::cycles(std::uint64_t value) {
+  cycles_ = std::to_string(value);
+  return *this;
+}
+
+BenchRecord& BenchRecord::wall_seconds(double value) {
+  wall_seconds_ = json_number(value);
+  return *this;
+}
+
+BenchRecord& BenchRecord::model_seconds(double value) {
+  model_seconds_ = json_number(value);
+  return *this;
+}
+
+std::string BenchReport::default_path(std::string_view bench_name) {
+  std::string path;
+  if (const char* dir = std::getenv("APSS_BENCH_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    path = dir;
+    if (path.back() != '/') {
+      path += '/';
+    }
+  }
+  path += "BENCH_";
+  path += bench_name;
+  path += ".json";
+  return path;
+}
+
+BenchReport::BenchReport(std::string bench_name)
+    : bench_(std::move(bench_name)),
+      path_(default_path(bench_)),
+      out_(path_, std::ios::trunc) {
+  if (!out_) {
+    std::fprintf(stderr, "bench_report: cannot open %s — results will NOT "
+                         "be recorded\n", path_.c_str());
+  }
+}
+
+void BenchReport::write(const BenchRecord& record) {
+  out_ << "{\"bench\":" << json_string(bench_)
+       << ",\"case\":" << json_string(record.case_);
+  out_ << ",\"params\":{";
+  bool first = true;
+  for (const auto& [key, value] : record.params_) {
+    out_ << (first ? "" : ",") << json_string(key) << ':' << value;
+    first = false;
+  }
+  out_ << '}';
+  if (!record.cycles_.empty()) {
+    out_ << ",\"cycles\":" << record.cycles_;
+  }
+  if (!record.wall_seconds_.empty()) {
+    out_ << ",\"wall_seconds\":" << record.wall_seconds_;
+  }
+  if (!record.model_seconds_.empty()) {
+    out_ << ",\"model_seconds\":" << record.model_seconds_;
+  }
+  out_ << "}\n" << std::flush;
+}
+
+}  // namespace apss::util

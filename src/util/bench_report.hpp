@@ -1,0 +1,75 @@
+#pragma once
+// Machine-readable bench results (JSON lines).
+//
+// Every bench binary that adopts this writes one BENCH_<name>.json file,
+// one JSON object per line:
+//
+//   {"bench":"fig8_comparison","case":"knn_bit_parallel",
+//    "params":{"n":1024,"dims":128,"queries":32},
+//    "cycles":8519680,"wall_seconds":0.041,"model_seconds":0.064}
+//
+// `params` describe the configuration; the three canonical metrics are
+// simulated device cycles, measured host wall-clock seconds, and modeled
+// device seconds (absent metrics are omitted). The file is truncated on
+// open, so each run snapshots the current commit's numbers; committing the
+// snapshot gives the repo a perf trajectory that CI uploads as an artifact
+// and `git log -p BENCH_*.json` can diff across PRs.
+//
+// Output directory: $APSS_BENCH_DIR when set, else the working directory.
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace apss::util {
+
+/// One result line under construction. All setters return *this for
+/// chaining; params keep insertion order.
+class BenchRecord {
+ public:
+  explicit BenchRecord(std::string case_name) : case_(std::move(case_name)) {}
+
+  BenchRecord& param(std::string_view key, std::string_view value);
+  BenchRecord& param(std::string_view key, double value);
+  BenchRecord& param(std::string_view key, std::uint64_t value);
+  BenchRecord& param(std::string_view key, std::int64_t value);
+  BenchRecord& param(std::string_view key, int value) {
+    return param(key, static_cast<std::int64_t>(value));
+  }
+
+  BenchRecord& cycles(std::uint64_t value);
+  BenchRecord& wall_seconds(double value);
+  BenchRecord& model_seconds(double value);
+
+ private:
+  friend class BenchReport;
+  std::string case_;
+  /// key -> pre-encoded JSON value.
+  std::vector<std::pair<std::string, std::string>> params_;
+  std::string cycles_, wall_seconds_, model_seconds_;  // encoded, "" = unset
+};
+
+/// Appends BenchRecords to BENCH_<bench_name>.json, flushing per record so
+/// interrupted runs still leave the completed lines behind.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  void write(const BenchRecord& record);
+
+  const std::string& path() const noexcept { return path_; }
+  bool ok() const noexcept { return out_.good(); }
+
+  /// $APSS_BENCH_DIR/BENCH_<bench_name>.json (or CWD without the env var).
+  static std::string default_path(std::string_view bench_name);
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace apss::util

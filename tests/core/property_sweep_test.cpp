@@ -46,6 +46,26 @@ TEST_P(EngineSweep, ApEngineReturnsExactKnn) {
   test::expect_valid_knn_results(data, queries, p.k, results);
 }
 
+TEST_P(EngineSweep, BitParallelBackendAgreesWithCycleAccurate) {
+  const SweepParam p = GetParam();
+  const auto data = knn::BinaryDataset::uniform(p.n, p.dims, 7600 + p.n);
+  const auto queries = knn::BinaryDataset::uniform(5, p.dims, 7700 + p.dims);
+  EngineOptions cycle_opt;
+  cycle_opt.max_vectors_per_config = p.vectors_per_config;
+  EngineOptions bit_opt = cycle_opt;
+  bit_opt.backend = SimulationBackend::kBitParallel;
+  ApKnnEngine cycle(data, cycle_opt);
+  ApKnnEngine bit(data, bit_opt);
+  ASSERT_EQ(bit.bit_parallel_configurations(), bit.configurations());
+  const auto expected = cycle.search(queries, p.k);
+  const auto actual = bit.search(queries, p.k);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t q = 0; q < expected.size(); ++q) {
+    EXPECT_EQ(actual[q], expected[q]) << "query " << q;
+  }
+  EXPECT_EQ(bit.last_stats(), cycle.last_stats());
+}
+
 TEST_P(EngineSweep, InterleavedDesignAgrees) {
   const SweepParam p = GetParam();
   if (p.dims < 2) {

@@ -1,0 +1,96 @@
+// util::BenchReport writes one JSON object per line to BENCH_<name>.json;
+// downstream tooling (CI artifacts, trajectory diffs) depends on the exact
+// field names, so the format is pinned here.
+
+#include "util/bench_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace apss::util {
+namespace {
+
+class BenchReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("apss_bench_report_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    ::setenv("APSS_BENCH_DIR", dir_.c_str(), 1);
+  }
+  void TearDown() override {
+    ::unsetenv("APSS_BENCH_DIR");
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string slurp(const std::string& path) const {
+    std::ifstream in(path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(BenchReportTest, PathHonorsEnvDirectory) {
+  EXPECT_EQ(BenchReport::default_path("micro"),
+            dir_.string() + "/BENCH_micro.json");
+}
+
+TEST_F(BenchReportTest, WritesOneJsonObjectPerLine) {
+  BenchReport report("demo");
+  ASSERT_TRUE(report.ok());
+  report.write(BenchRecord("first")
+                   .param("n", std::uint64_t{1024})
+                   .param("backend", "bit_parallel")
+                   .cycles(2600)
+                   .wall_seconds(0.5)
+                   .model_seconds(0.03125));
+  report.write(BenchRecord("second").param("ratio", 2.5));
+
+  const std::string text = slurp(report.path());
+  std::istringstream lines(text);
+  std::string line1, line2;
+  ASSERT_TRUE(std::getline(lines, line1));
+  ASSERT_TRUE(std::getline(lines, line2));
+  EXPECT_EQ(line1,
+            "{\"bench\":\"demo\",\"case\":\"first\","
+            "\"params\":{\"n\":1024,\"backend\":\"bit_parallel\"},"
+            "\"cycles\":2600,\"wall_seconds\":0.5,"
+            "\"model_seconds\":0.03125}");
+  EXPECT_EQ(line2,
+            "{\"bench\":\"demo\",\"case\":\"second\","
+            "\"params\":{\"ratio\":2.5}}");
+}
+
+TEST_F(BenchReportTest, EscapesStringsAndOmitsUnsetMetrics) {
+  BenchReport report("esc");
+  report.write(BenchRecord("quote\"back\\slash\nnewline")
+                   .param("note", "tab\there"));
+  const std::string text = slurp(report.path());
+  EXPECT_NE(text.find("\"case\":\"quote\\\"back\\\\slash\\nnewline\""),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"note\":\"tab\\there\""), std::string::npos) << text;
+  EXPECT_EQ(text.find("wall_seconds"), std::string::npos) << text;
+}
+
+TEST_F(BenchReportTest, TruncatesOnReopen) {
+  {
+    BenchReport report("trunc");
+    report.write(BenchRecord("stale"));
+  }
+  BenchReport report("trunc");
+  report.write(BenchRecord("fresh"));
+  const std::string text = slurp(report.path());
+  EXPECT_EQ(text.find("stale"), std::string::npos);
+  EXPECT_NE(text.find("fresh"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apss::util
