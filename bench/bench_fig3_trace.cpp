@@ -10,7 +10,9 @@
 #include "apsim/simulator.hpp"
 #include "core/hamming_macro.hpp"
 #include "core/stream.hpp"
+#include "util/bench_report.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -31,6 +33,8 @@ struct Capture : apsim::TraceSink {
 }  // namespace
 
 int main() {
+  util::BenchReport report("fig3_trace");
+  util::Timer timer;
   anml::AutomataNetwork net;
   const core::MacroLayout layout =
       core::append_hamming_macro(net, util::BitVector::parse("1011"), 0);
@@ -84,7 +88,14 @@ int main() {
     std::fprintf(stderr, "FAIL: counter pulse must land exactly at t=8\n");
     return 1;
   }
+  report.write(util::BenchRecord("trace_checkpoints")
+                   .param("checkpoints", std::uint64_t{12})
+                   .cycles(12)
+                   .wall_seconds(timer.seconds()));
   std::printf("\nAll Fig. 3 checkpoints reproduced (pulse t=8, report t=9, "
               "reset t=12).\n");
+  if (report.ok()) {
+    std::printf("recorded -> %s\n", report.path().c_str());
+  }
   return 0;
 }

@@ -13,11 +13,15 @@
 #include "core/hamming_macro.hpp"
 #include "core/stream.hpp"
 #include "core/temporal_decode.hpp"
+#include "util/bench_report.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 int main() {
   using namespace apss;
+  util::BenchReport report("fig4_temporal_sort");
+  util::Timer timer;
 
   // --- The exact Fig. 4 pair -------------------------------------------------
   anml::AutomataNetwork net;
@@ -71,8 +75,18 @@ int main() {
       ++checked;
     }
   }
+  report.write(util::BenchRecord("temporal_sort_scale")
+                   .param("n", std::uint64_t{64})
+                   .param("dims", std::uint64_t{32})
+                   .param("queries", std::uint64_t{8})
+                   .param("events_checked", static_cast<std::uint64_t>(checked))
+                   .cycles(8 * big_spec.cycles_per_query())
+                   .wall_seconds(timer.seconds()));
   std::printf("\nScale check: %zu report events across 8 queries arrived "
               "sorted by Hamming distance with exact temporal encoding.\n",
               checked);
+  if (report.ok()) {
+    std::printf("recorded -> %s\n", report.path().c_str());
+  }
   return 0;
 }

@@ -115,9 +115,17 @@ int run_backend_comparison(util::BenchReport& report, std::size_t n,
       run_backend(data, queries, k, core::SimulationBackend::kBitParallel);
 
   if (cycle.results != bit.results ||
-      !(cycle.stats == bit.stats)) {
+      !cycle.stats.same_work(bit.stats)) {
     std::fprintf(stderr,
                  "FAIL: backends disagree on results or EngineStats\n");
+    return 1;
+  }
+  if (bit.stats.backend.fallback != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu configurations fell back to the cycle-accurate "
+                 "simulator (first reason: %s)\n",
+                 bit.stats.backend.fallback,
+                 bit.stats.backend.fallback_reasons.front().first.c_str());
     return 1;
   }
   const double speedup = bit.wall_seconds > 0.0

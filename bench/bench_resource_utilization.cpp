@@ -3,16 +3,19 @@
 // places it on a one-rank board, and compares apadmin-style block
 // utilization with the paper's 41.7 / 90.9 / 78.6 %.
 
+#include <cstdio>
 #include <iostream>
 
 #include "apsim/placement.hpp"
 #include "core/engine.hpp"
 #include "perf/workloads.hpp"
+#include "util/bench_report.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 int main() {
   using namespace apss;
+  util::BenchReport report("resource_utilization");
   util::TablePrinter table("Sec. V-A: resource utilization per configuration");
   table.set_header({"Workload", "vectors", "STEs", "blocks", "half-cores",
                     "util % (ours)", "util % (paper)", "report BW (Gbit/s)"});
@@ -38,6 +41,19 @@ int main() {
     std::cerr << "[" << w.name << "] built+placed "
               << engine.network(0).size() << " elements in "
               << util::TablePrinter::fmt(timer.seconds(), 1) << " s\n";
+    report.write(
+        util::BenchRecord("utilization")
+            .param("workload", w.name)
+            .param("vectors",
+                   static_cast<std::uint64_t>(w.vectors_per_config))
+            .param("stes", static_cast<std::uint64_t>(placement.ste_count))
+            .param("blocks",
+                   static_cast<std::uint64_t>(placement.blocks_used))
+            .param("utilization_pct", util_pct)
+            .param("paper_utilization_pct",
+                   perf::paper_reference(w.name).utilization_pct)
+            .param("report_bw_gbps", engine.report_bandwidth_gbps())
+            .wall_seconds(timer.seconds()));
   }
   table.add_note("encoded payload tops out at 128 Kb per configuration "
                  "(1024 x 128 or 512 x 256), matching Sec. V-A.");
@@ -46,5 +62,8 @@ int main() {
   table.add_note("utilization does not depend on k: sorting adds no states "
                  "(Sec. V-A).");
   table.print(std::cout);
+  if (report.ok()) {
+    std::printf("\nrecorded -> %s\n", report.path().c_str());
+  }
   return 0;
 }

@@ -1,13 +1,16 @@
 // Table I: evaluated platforms, plus the calibration constants this repo
 // derived from the paper's own results (Sec. V).
 
+#include <cstdio>
 #include <iostream>
 
 #include "hwmodels/platforms.hpp"
+#include "util/bench_report.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace apss;
+  util::BenchReport report("table1_platforms");
   util::TablePrinter table("Table I: Evaluated platforms");
   table.set_header({"Platform", "Type", "Cores", "Process (nm)", "Clock (MHz)",
                     "Dyn. power (W)*", "Scan rate (Gbit/s)*"});
@@ -31,10 +34,19 @@ int main() {
                    p.scan_bits_per_second > 0
                        ? util::TablePrinter::fmt(p.scan_bits_per_second / 1e9, 2)
                        : "-"});
+    report.write(util::BenchRecord("platform")
+                     .param("name", p.name)
+                     .param("type", type_name(p.type))
+                     .param("clock_mhz", p.clock_mhz)
+                     .param("dynamic_power_w", p.dynamic_power_w)
+                     .param("scan_gbps", p.scan_bits_per_second / 1e9));
   }
   table.add_note("* columns marked with an asterisk are APSS calibration "
                  "constants back-derived from the paper's Tables III/IV "
                  "(see src/hwmodels/platforms.cpp for the arithmetic).");
   table.print(std::cout);
+  if (report.ok()) {
+    std::printf("\nrecorded -> %s\n", report.path().c_str());
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 //  * OUR AP model under the paper's d-cycle throughput convention AND the
 //    honest 2d+L+3 frame, with the simulator validating a query sample.
 
+#include <cstdio>
 #include <iostream>
 
 #include "core/engine.hpp"
@@ -14,6 +15,7 @@
 #include "hwmodels/platforms.hpp"
 #include "knn/exact.hpp"
 #include "perf/projection.hpp"
+#include "util/bench_report.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -21,6 +23,7 @@
 int main() {
   using namespace apss;
   util::ThreadPool pool;
+  util::BenchReport report("table3_small");
 
   util::TablePrinter runtime("Table III: small-dataset run time (ms)");
   runtime.set_header({"Workload", "Xeon(paper)", "CPU(ours,1T)", "ARM(paper)",
@@ -103,6 +106,19 @@ int main() {
          util::TablePrinter::fmt(ap_frame.total_seconds * 1e3, 2),
          util::TablePrinter::fmt(ref.ap_gen1_ms, 2)});
 
+    report.write(util::BenchRecord("small_runtime")
+                     .param("workload", w.name)
+                     .param("n", static_cast<std::uint64_t>(w.small_n))
+                     .param("dims", static_cast<std::uint64_t>(w.dims))
+                     .param("queries",
+                            static_cast<std::uint64_t>(perf::kQueryCount))
+                     .param("cpu_ms", cpu_ms)
+                     .param("fpga_model_ms", fpga_ms)
+                     .param("ap_paper_convention_ms", ap_paper_ms)
+                     .param("ap_frame_ms", ap_frame.total_seconds * 1e3)
+                     .wall_seconds(cpu_ms / 1e3)
+                     .model_seconds(ap_frame.total_seconds));
+
     const double fpga_qpj = hwmodels::queries_per_joule(
         perf::kQueryCount, fpga_ms / 1e3,
         hwmodels::platform("Kintex-7").dynamic_power_w);
@@ -131,5 +147,8 @@ int main() {
   std::cout << "\nShape check: AP(paper-convention) beats the CPUs by >10x "
                "on every workload;\nFPGA and AP are within ~2x of each "
                "other, matching the paper's Table III.\n";
+  if (report.ok()) {
+    std::printf("\nrecorded -> %s\n", report.path().c_str());
+  }
   return 0;
 }

@@ -7,14 +7,17 @@
 // src/perf/indexing_model.hpp for the cost equations and the documented
 // FLANN-backtracking asymmetry on the CPU tree baselines).
 
+#include <cstdio>
 #include <iostream>
 
 #include "perf/indexing_model.hpp"
+#include "util/bench_report.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 int main() {
   using namespace apss;
+  util::BenchReport report("table5_indexing");
   perf::IndexingScenario scenario;
   scenario.workload = perf::workload("kNN-TagSpace");
 
@@ -24,6 +27,9 @@ int main() {
   const auto techniques = perf::measure_techniques(scenario, 1u << 15, 2026);
   std::cerr << "[bench] profiling took "
             << util::TablePrinter::fmt(timer.seconds(), 1) << " s\n";
+  report.write(util::BenchRecord("profiling")
+                   .param("sample_size", std::uint64_t{1} << 15)
+                   .wall_seconds(timer.seconds()));
 
   util::TablePrinter profile("Measured traversal profiles (per query)");
   profile.set_header({"Indexing", "traversal us", "candidates",
@@ -56,11 +62,23 @@ int main() {
                    util::TablePrinter::fmt(paper_gen1[i], 2) + "x",
                    util::TablePrinter::fmt(gen2.speedup, 1) + "x",
                    util::TablePrinter::fmt(paper_gen2[i], 1) + "x"});
+    report.write(
+        util::BenchRecord("indexing_speedup")
+            .param("technique", techniques[i].name)
+            .param("traversal_us", techniques[i].traversal_seconds * 1e6)
+            .param("candidates", techniques[i].candidates_per_query)
+            .param("gen1_speedup", gen1.speedup)
+            .param("gen2_speedup", gen2.speedup)
+            .param("paper_gen1", paper_gen1[i])
+            .param("paper_gen2", paper_gen2[i]));
   }
   table.add_note("shape reproduced: Gen1 indexed rows collapse (reconfig "
                  "dominates); Gen2 recovers large speedups; MPLSH gains "
                  "least. Magnitudes for the indexed rows depend on the "
                  "paper's unpublished FLANN/LSHBOX settings (EXPERIMENTS.md).");
   table.print(std::cout);
+  if (report.ok()) {
+    std::printf("\nrecorded -> %s\n", report.path().c_str());
+  }
   return 0;
 }

@@ -8,11 +8,13 @@
 // Usage: bench_table6_reduction [runs] [queries_per_run]  (defaults 100 4096;
 // smoke runs pass small values — the percentages only converge at defaults)
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 
 #include "core/opt/statistical_reduction.hpp"
 #include "perf/workloads.hpp"
+#include "util/bench_report.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -44,6 +46,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  util::BenchReport report("table6_reduction");
   util::TablePrinter table(
       "Table VI: % incorrect runs (" + std::to_string(runs) +
       " runs, p=16, n=1024)");
@@ -79,6 +82,22 @@ int main(int argc, char** argv) {
         core::evaluate_reduction_sweep(params, k_primes, &pool);
     std::cerr << "[" << w.name << "] sweep took "
               << util::TablePrinter::fmt(timer.seconds(), 1) << " s\n";
+    for (std::size_t i = 0; i < std::size(k_primes); ++i) {
+      report.write(
+          util::BenchRecord("reduction_accuracy")
+              .param("workload", w.name)
+              .param("runs", static_cast<std::uint64_t>(runs))
+              .param("queries_per_run",
+                     static_cast<std::uint64_t>(queries_per_run))
+              .param("k_prime", static_cast<std::uint64_t>(k_primes[i]))
+              .param("incorrect_run_fraction",
+                     results[i].incorrect_run_fraction)
+              .param("incorrect_query_fraction",
+                     results[i].incorrect_query_fraction)
+              .param("mean_reports_per_query",
+                     results[i].mean_reports_per_query)
+              .wall_seconds(timer.seconds()));
+    }
 
     const auto pct = [](double f) {
       return util::TablePrinter::fmt(f * 100.0, 0) + "%";
@@ -109,5 +128,8 @@ int main(int argc, char** argv) {
   detail.add_note("k'=1 cuts reports from 1024 to 64 per query: the 16x "
                   "(p/k') bandwidth reduction of Sec. VI-C.");
   detail.print(std::cout);
+  if (report.ok()) {
+    std::printf("\nrecorded -> %s\n", report.path().c_str());
+  }
   return 0;
 }

@@ -3,15 +3,18 @@
 // alphabet assumptions (full 8-bit space = the paper's setting; restricted
 // kNN alphabet = what an alphabet-aware synthesizer could reach).
 
+#include <cstdio>
 #include <iostream>
 
 #include "core/ext/ste_decomposition.hpp"
 #include "core/hamming_macro.hpp"
 #include "perf/workloads.hpp"
+#include "util/bench_report.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace apss;
+  util::BenchReport report("table7_decomposition");
   const std::size_t factors[] = {1, 2, 4, 8, 16, 32};
 
   struct PaperRow {
@@ -43,6 +46,14 @@ int main() {
     for (std::size_t i = 0; i < 6; ++i) {
       cells.push_back(util::TablePrinter::fmt(full.savings(factors[i]), 2) +
                       "/" + util::TablePrinter::fmt(row.savings[i], 2));
+      report.write(util::BenchRecord("decomposition_savings")
+                       .param("workload", w.name)
+                       .param("factor",
+                              static_cast<std::uint64_t>(factors[i]))
+                       .param("savings", full.savings(factors[i]))
+                       .param("paper_savings", row.savings[i])
+                       .param("restricted_savings",
+                              restricted.savings(factors[i])));
     }
     table.add_row(cells);
 
@@ -69,5 +80,8 @@ int main() {
   table.print(std::cout);
   std::cout << '\n';
   widths.print(std::cout);
+  if (report.ok()) {
+    std::printf("\nrecorded -> %s\n", report.path().c_str());
+  }
   return 0;
 }

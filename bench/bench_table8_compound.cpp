@@ -4,13 +4,16 @@
 // networks; STE decomposition from the LUT-width analysis; counter
 // increment from the dense-frame arithmetic).
 
+#include <cstdio>
 #include <iostream>
 
 #include "perf/projection.hpp"
+#include "util/bench_report.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace apss;
+  util::BenchReport report("table8_compound");
 
   struct PaperRow {
     const char* name;
@@ -28,6 +31,16 @@ int main() {
   std::vector<perf::CompoundGains> gains;
   for (const PaperRow& row : paper_rows) {
     gains.push_back(perf::compound_gains(perf::workload(row.name)));
+    const perf::CompoundGains& g = gains.back();
+    report.write(util::BenchRecord("compound_gains")
+                     .param("workload", row.name)
+                     .param("tech_scaling", g.tech_scaling)
+                     .param("vector_packing", g.vector_packing)
+                     .param("ste_decomposition", g.ste_decomposition)
+                     .param("counter_increment", g.counter_increment)
+                     .param("total", g.total())
+                     .param("energy_total", g.energy_total())
+                     .param("paper_total", row.total));
   }
 
   const auto fmt2 = [](double v) { return util::TablePrinter::fmt(v, 2); };
@@ -59,5 +72,8 @@ int main() {
                  "(shared guard/chain/sort) and is slightly more "
                  "conservative than the paper's analytical model.");
   table.print(std::cout);
+  if (report.ok()) {
+    std::printf("\nrecorded -> %s\n", report.path().c_str());
+  }
   return 0;
 }

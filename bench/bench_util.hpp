@@ -1,0 +1,90 @@
+#pragma once
+// Small helpers shared by the bench binaries: argument parsing and the
+// raw-stream simulation-backend comparison harness used by the fig5
+// (packed) and fig6 (multiplexed) benches.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "anml/network.hpp"
+#include "apsim/batch_simulator.hpp"
+#include "apsim/simulator.hpp"
+#include "util/bench_report.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace apss::bench {
+
+/// Strict positive decimal parse: rejects signs, suffixes ("1e3"), and
+/// empty/garbage input by returning 0 (the caller's usage trigger).
+inline std::size_t parse_positive(const char* s) {
+  if (s == nullptr || *s < '0' || *s > '9') {
+    return 0;
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  return *end == '\0' ? static_cast<std::size_t>(v) : 0;
+}
+
+/// Runs `stream` on the cycle-accurate reference and on the compiled
+/// bit-parallel `program`, asserts the ReportEvent streams are
+/// BIT-IDENTICAL, prints a comparison table (with `note`), and writes
+/// <prefix>_cycle_accurate / <prefix>_bit_parallel /
+/// <prefix>_backend_speedup records — `stamp` adds the bench's parameters
+/// to each. `shape` names the macro shape in the closing message.
+/// Returns 0, or 1 when the backends disagree.
+inline int compare_backends_on_stream(
+    util::BenchReport& report, const std::string& prefix, const char* shape,
+    const std::string& table_title, const char* note,
+    const anml::AutomataNetwork& network,
+    std::shared_ptr<const apsim::BatchProgram> program,
+    std::span<const std::uint8_t> stream,
+    const std::function<void(util::BenchRecord&)>& stamp) {
+  util::Timer cycle_timer;
+  apsim::Simulator reference(network);
+  const auto expected = reference.run(stream);
+  const double cycle_wall = cycle_timer.seconds();
+
+  util::Timer bit_timer;
+  apsim::BatchSimulator batch(std::move(program));
+  const auto actual = batch.run(stream);
+  const double bit_wall = bit_timer.seconds();
+
+  if (actual != expected) {
+    std::fprintf(stderr, "FAIL: backends disagree on the report stream\n");
+    return 1;
+  }
+  const double speedup = bit_wall > 0.0 ? cycle_wall / bit_wall : 0.0;
+
+  util::TablePrinter table(table_title);
+  table.set_header({"backend", "wall s", "sim cycles", "report events"});
+  const auto row = [&](const char* name, double wall) {
+    table.add_row({name, util::TablePrinter::fmt(wall, 4),
+                   std::to_string(stream.size()),
+                   std::to_string(expected.size())});
+    util::BenchRecord record(prefix + "_" + name);
+    stamp(record);
+    report.write(record.cycles(stream.size()).wall_seconds(wall));
+  };
+  row("cycle_accurate", cycle_wall);
+  row("bit_parallel", bit_wall);
+  table.add_note(note);
+  table.print(std::cout);
+
+  util::BenchRecord speed(prefix + "_backend_speedup");
+  stamp(speed);
+  report.write(speed.param("speedup", speedup));
+  std::printf("\nbit-parallel speedup on the %s shape: %.1fx wall-clock "
+              "(target at default sizes: >= 50x)\n", shape, speedup);
+  return 0;
+}
+
+}  // namespace apss::bench

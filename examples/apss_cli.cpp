@@ -6,14 +6,19 @@
 //       text through the simulator, and print match-end offsets.
 //   apss_cli anml <file.anml> '<input text>'
 //       Load an ANML network, execute it, and print report events.
-//   apss_cli knn <d> <n> <k> [seed] [--backend=cycle|bit]
+//   apss_cli knn <d> <n> <k> [seed] [--backend=cycle|bit] [--packing=<g>]
 //       Build a random n x d-bit dataset, compile it to Hamming/sorting
 //       macros, run one random query end to end, and print the neighbors
 //       plus the placement report — the whole paper pipeline in one shot.
 //       --backend=bit runs the search on the bit-parallel batch simulator
-//       (docs/SIMULATOR_SEMANTICS.md) instead of the cycle-accurate one.
+//       (docs/SIMULATOR_SEMANTICS.md) instead of the cycle-accurate one,
+//       and prints the per-configuration compile outcome (per macro
+//       family) plus every fallback reason, so cycle-accurate fallbacks
+//       are visible. --packing=g builds the Sec. VI-A vector-packed
+//       design, g vectors per shared ladder.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -73,19 +78,30 @@ int run_anml(const std::string& path, const std::string& text) {
 }
 
 int run_knn(std::size_t dims, std::size_t n, std::size_t k,
-            std::uint64_t seed, core::SimulationBackend backend) {
+            std::uint64_t seed, core::SimulationBackend backend,
+            std::size_t packing_group) {
   const auto data = knn::BinaryDataset::uniform(n, dims, seed);
   core::EngineOptions opt;
   opt.backend = backend;
+  opt.packing_group_size = packing_group;
   core::ApKnnEngine engine(data, opt);
   const auto placement = engine.placement(0);
-  std::printf("compiled %zu vectors x %zu bits: %zu STEs, %zu blocks, "
+  std::printf("compiled %zu vectors x %zu bits%s: %zu STEs, %zu blocks, "
               "%s routed\n",
-              n, dims, placement.ste_count, placement.blocks_used,
+              n, dims,
+              packing_group > 0 ? " (vector-packed)" : "",
+              placement.ste_count, placement.blocks_used,
               placement.routed ? "fully" : "PARTIALLY");
   if (backend == core::SimulationBackend::kBitParallel) {
-    std::printf("backend: bit-parallel (%zu/%zu configurations compiled)\n",
-                engine.bit_parallel_configurations(), engine.configurations());
+    const core::BackendCompileStats& bs = engine.backend_stats();
+    std::printf("backend: bit-parallel (%zu/%zu configurations compiled: "
+                "%zu hamming, %zu packed, %zu multiplexed)\n",
+                bs.bit_parallel, bs.configurations, bs.hamming, bs.packed,
+                bs.multiplexed);
+    for (const auto& [why, count] : bs.fallback_reasons) {
+      std::printf("  fallback x%zu -> cycle-accurate: %s\n", count,
+                  why.c_str());
+    }
   } else {
     std::printf("backend: cycle-accurate\n");
   }
@@ -107,7 +123,8 @@ void usage() {
                "usage:\n"
                "  apss_cli pcre '<pattern>' '<text>'\n"
                "  apss_cli anml <file.anml> '<text>'\n"
-               "  apss_cli knn <dims> <n> <k> [seed] [--backend=cycle|bit]\n");
+               "  apss_cli knn <dims> <n> <k> [seed] [--backend=cycle|bit] "
+               "[--packing=<group>]\n");
 }
 
 }  // namespace
@@ -126,11 +143,13 @@ int main(int argc, char** argv) {
       std::vector<std::string> args;
       core::SimulationBackend backend =
           core::SimulationBackend::kCycleAccurate;
+      std::size_t packing_group = 0;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--backend=", 0) == 0) {
           const std::string value = arg.substr(10);
-          if (value == "bit" || value == "bit-parallel") {
+          if (value == "bit" || value == "bit-parallel" ||
+              value == "bit_parallel") {
             backend = core::SimulationBackend::kBitParallel;
           } else if (value == "cycle" || value == "cycle-accurate") {
             backend = core::SimulationBackend::kCycleAccurate;
@@ -139,6 +158,22 @@ int main(int argc, char** argv) {
             usage();
             return 2;
           }
+        } else if (arg.rfind("--packing=", 0) == 0) {
+          // Strict parse: no signs, suffixes, or empty values (std::stoul
+          // would accept "-1" and "4x").
+          const std::string value = arg.substr(10);
+          char* end = nullptr;
+          const unsigned long long v =
+              value.empty() || value[0] < '0' || value[0] > '9'
+                  ? 0
+                  : std::strtoull(value.c_str(), &end, 10);
+          if (v == 0 || end == nullptr || *end != '\0') {
+            std::fprintf(stderr,
+                         "--packing needs a positive integer group size\n");
+            usage();
+            return 2;
+          }
+          packing_group = static_cast<std::size_t>(v);
         } else if (arg.rfind("--", 0) == 0) {
           std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
           usage();
@@ -155,7 +190,7 @@ int main(int argc, char** argv) {
       const auto n = static_cast<std::size_t>(std::stoul(args[1]));
       const auto k = static_cast<std::size_t>(std::stoul(args[2]));
       const std::uint64_t seed = args.size() > 3 ? std::stoull(args[3]) : 1;
-      return run_knn(dims, n, k, seed, backend);
+      return run_knn(dims, n, k, seed, backend, packing_group);
     }
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error: %s\n", ex.what());

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Fails (exit 1) when any relative markdown link in README.md or docs/*.md
+# points at a file that does not exist. External links (http/https/mailto)
+# and pure in-page anchors are skipped; "#section" suffixes on relative
+# links are stripped before the existence check.
+#
+# Usage: scripts/check_doc_links.sh [repo-root]   (default: cwd)
+
+set -u
+root="${1:-.}"
+status=0
+
+for doc in "$root"/README.md "$root"/docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # Inline markdown links: capture the (...) target of every [text](target).
+  grep -oE '\]\([^)]+\)' "$doc" | sed -e 's/^](//' -e 's/)$//' |
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $doc -> $target"
+      # The while loop runs in a subshell; signal via a marker file.
+      : > "$root/.broken-doc-links"
+    fi
+  done
+done
+
+if [ -e "$root/.broken-doc-links" ]; then
+  rm -f "$root/.broken-doc-links"
+  status=1
+else
+  echo "doc link check: all relative links in README.md and docs/*.md resolve"
+fi
+exit $status

@@ -7,6 +7,15 @@
 
 namespace apss::apsim {
 
+const char* to_string(MacroFamily family) noexcept {
+  switch (family) {
+    case MacroFamily::kHamming: return "hamming";
+    case MacroFamily::kPacked: return "packed";
+    case MacroFamily::kMultiplexed: return "multiplexed";
+  }
+  return "?";
+}
+
 using anml::CounterPort;
 using anml::Element;
 using anml::ElementId;
@@ -14,9 +23,27 @@ using anml::ElementKind;
 using anml::StartKind;
 using anml::SymbolSet;
 
+/// Shape-neutral recognizer output: everything the shared back-end needs to
+/// emit a compiled program. A lane is one (counter, report) pair; lane l's
+/// dim-i matching state uses match class lane_class[l * dims + i].
+struct BatchProgram::LaneTable {
+  MacroFamily family = MacroFamily::kHamming;
+  std::size_t lanes = 0;
+  std::size_t dims = 0;
+  std::size_t levels = 1;
+  int sof = -1;
+  int eof = -1;
+  std::vector<SymbolSet> classes;        ///< distinct matching classes
+  std::vector<std::uint8_t> lane_class;  ///< lanes x dims class indices
+  std::vector<ElementId> report_elem;    ///< per lane
+  std::vector<std::uint32_t> report_code;
+};
+
 namespace {
 
-/// Structural role of an element inside the macro set.
+/// Structural role of an element inside the macro set. kMatch doubles as
+/// the packed shape's value-state role (both are per-dimension matching
+/// states; only their fan-out wiring differs).
 enum class Role : std::uint8_t {
   kUnassigned,
   kGuard,
@@ -30,9 +57,13 @@ enum class Role : std::uint8_t {
   kReport,
 };
 
+/// (role, owner, pos) of one element. `owner` is the macro index for the
+/// plain shape; for the packed shape it is the group index on shared roles
+/// (guard/chain/match/bridge/sort/eof) and the LANE index on per-lane roles
+/// (collector/counter/report).
 struct Slot {
   Role role = Role::kUnassigned;
-  std::uint32_t macro = 0;
+  std::uint32_t owner = 0;
   std::uint32_t pos = 0;
 };
 
@@ -49,12 +80,136 @@ int single_symbol(const SymbolSet& s) {
   return -1;
 }
 
-// Required-out-edge bookkeeping bits (per role; see check loop below).
+/// Interns `symbols` into `classes`, returning its index, or -1 when the
+/// class budget (kMaxBatchMatchClasses) is exhausted.
+int intern_class(std::vector<SymbolSet>& classes, const SymbolSet& symbols) {
+  const auto it = std::find(classes.begin(), classes.end(), symbols);
+  if (it != classes.end()) {
+    return static_cast<int>(it - classes.begin());
+  }
+  if (classes.size() >= kMaxBatchMatchClasses) {
+    return -1;
+  }
+  classes.push_back(symbols);
+  return static_cast<int>(classes.size() - 1);
+}
+
+/// Plain vs multiplexed (for BatchProgram::family()): multiplexed matching
+/// classes are the slice-ternary pairs 0b*......b — ternary(value, mask)
+/// with mask = control bit | one payload bit (core::Alphabet puts the
+/// control flag at bit 7). A class set spanning more than one payload
+/// slice is the Fig. 6 shape; anything else counts as plain Hamming.
+MacroFamily detect_hamming_family(const std::vector<SymbolSet>& classes) {
+  std::uint8_t slices_used = 0;
+  for (const SymbolSet& c : classes) {
+    bool matched = false;
+    for (std::size_t s = 0; s < 7 && !matched; ++s) {
+      const auto mask = static_cast<std::uint8_t>(0x80u | (1u << s));
+      for (int b = 0; b < 2 && !matched; ++b) {
+        const auto value = static_cast<std::uint8_t>(b ? (1u << s) : 0u);
+        if (c == SymbolSet::ternary(value, mask)) {
+          slices_used |= static_cast<std::uint8_t>(1u << s);
+          matched = true;
+        }
+      }
+    }
+    if (!matched) {
+      return MacroFamily::kHamming;  // free-form classes: the plain shape
+    }
+  }
+  return std::popcount(slices_used) > 1 ? MacroFamily::kMultiplexed
+                                        : MacroFamily::kHamming;
+}
+
+// Required-out-edge bookkeeping bits (per role; see check loops below).
 constexpr std::uint8_t kSawFirst = 1;    // chain succ / collector parent / ...
 constexpr std::uint8_t kSawSecond = 2;   // match succ / counter enable
 constexpr std::uint8_t kSawThird = 4;    // sort -> eof
 
+/// Shape-independent per-element checks shared by both recognizers: element
+/// kinds, start kinds, reporting flags, guard/EOF single-symbol uniformity,
+/// match-class interning (into `classes`, recorded per element in
+/// `elem_class`), counter mode/threshold. Returns "" on success, else the
+/// failure reason. The sort-class check needs the resolved EOF symbol and
+/// stays with the callers.
+std::string check_element_properties(const anml::AutomataNetwork& network,
+                                     const std::vector<Slot>& slots,
+                                     std::size_t dims, int& sof, int& eof,
+                                     std::vector<SymbolSet>& classes,
+                                     std::vector<std::uint8_t>& elem_class) {
+  for (ElementId id = 0; id < network.size(); ++id) {
+    const Element& e = network.element(id);
+    const Role role = slots[id].role;
+    const bool is_counter = role == Role::kCounter;
+    if (!is_counter && e.kind != ElementKind::kSte) {
+      return "non-STE element in an STE slot";
+    }
+    if (!is_counter && e.start !=
+        (role == Role::kGuard ? StartKind::kAllInput : StartKind::kNone)) {
+      return "unexpected start kind";
+    }
+    if (e.reporting != (role == Role::kReport)) {
+      return "reporting flag on an unexpected element";
+    }
+    switch (role) {
+      case Role::kGuard: {
+        const int sym = single_symbol(e.symbols);
+        if (sym < 0 || (sof >= 0 && sym != sof)) {
+          return "guard class is not one uniform symbol";
+        }
+        sof = sym;
+        break;
+      }
+      case Role::kEof: {
+        const int sym = single_symbol(e.symbols);
+        if (sym < 0 || (eof >= 0 && sym != eof)) {
+          return "eof class is not one uniform symbol";
+        }
+        eof = sym;
+        break;
+      }
+      case Role::kMatch: {
+        const int c = intern_class(classes, e.symbols);
+        if (c < 0) {
+          return "more than " + std::to_string(kMaxBatchMatchClasses) +
+                 " distinct match classes";
+        }
+        elem_class[id] = static_cast<std::uint8_t>(c);
+        break;
+      }
+      case Role::kChain:
+      case Role::kCollector:
+      case Role::kBridge:
+      case Role::kReport:
+        if (!e.symbols.is_all()) {
+          return "backbone/collector/bridge/report class must be *";
+        }
+        break;
+      case Role::kSort:
+        break;  // checked against eof by the callers
+      case Role::kCounter:
+        if (e.kind != ElementKind::kCounter ||
+            e.mode != anml::CounterMode::kPulse ||
+            e.threshold != static_cast<std::uint32_t>(dims)) {
+          return "counter is not pulse-mode with threshold == dims";
+        }
+        break;
+      case Role::kUnassigned:
+        break;
+    }
+  }
+  if (sof < 0 || eof < 0 || sof == eof) {
+    return "guard/eof symbols missing or identical";
+  }
+  return "";
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Plain Hamming/sorting macros (also the multiplexed per-slice replicas,
+// which differ only in their matching-state classes).
+// ---------------------------------------------------------------------------
 
 std::shared_ptr<const BatchProgram> BatchProgram::try_compile(
     const anml::AutomataNetwork& network,
@@ -101,6 +256,10 @@ std::shared_ptr<const BatchProgram> BatchProgram::try_compile(
         s.collector_levels != levels || s.bridge.size() != levels) {
       return fail("macros are not structurally identical");
     }
+    if (m > 0 && s.counter <= macros[m - 1].counter) {
+      return fail("macros are not in counter creation order "
+                  "(within-cycle report order would diverge)");
+    }
     bool ok = assign(s.guard, Role::kGuard, m, 0) &&
               assign(s.sort_state, Role::kSort, m, 0) &&
               assign(s.eof_state, Role::kEof, m, 0) &&
@@ -127,77 +286,20 @@ std::shared_ptr<const BatchProgram> BatchProgram::try_compile(
   }
 
   // --- Element property checks + match-class discovery ---------------------
-  int sof = -1;
-  int eof = -1;
-  std::vector<SymbolSet> classes;  // at most two distinct match classes
-  for (ElementId id = 0; id < network.size(); ++id) {
-    const Element& e = network.element(id);
-    const Role role = slots[id].role;
-    const bool is_counter = role == Role::kCounter;
-    if (!is_counter && e.kind != ElementKind::kSte) {
-      return fail("non-STE element in an STE slot");
-    }
-    if (!is_counter && e.start !=
-        (role == Role::kGuard ? StartKind::kAllInput : StartKind::kNone)) {
-      return fail("unexpected start kind");
-    }
-    if (e.reporting != (role == Role::kReport)) {
-      return fail("reporting flag on an unexpected element");
-    }
-    switch (role) {
-      case Role::kGuard: {
-        const int sym = single_symbol(e.symbols);
-        if (sym < 0 || (sof >= 0 && sym != sof)) {
-          return fail("guard class is not one uniform symbol");
-        }
-        sof = sym;
-        break;
-      }
-      case Role::kEof: {
-        const int sym = single_symbol(e.symbols);
-        if (sym < 0 || (eof >= 0 && sym != eof)) {
-          return fail("eof class is not one uniform symbol");
-        }
-        eof = sym;
-        break;
-      }
-      case Role::kMatch: {
-        if (std::find(classes.begin(), classes.end(), e.symbols) ==
-            classes.end()) {
-          classes.push_back(e.symbols);
-          if (classes.size() > 2) {
-            return fail("more than two distinct match classes");
-          }
-        }
-        break;
-      }
-      case Role::kChain:
-      case Role::kCollector:
-      case Role::kBridge:
-      case Role::kReport:
-        if (!e.symbols.is_all()) {
-          return fail("backbone/collector/bridge/report class must be *");
-        }
-        break;
-      case Role::kSort:
-        break;  // checked against eof below
-      case Role::kCounter:
-        if (e.kind != ElementKind::kCounter ||
-            e.mode != anml::CounterMode::kPulse ||
-            e.threshold != static_cast<std::uint32_t>(dims)) {
-          return fail("counter is not pulse-mode with threshold == dims");
-        }
-        break;
-      case Role::kUnassigned:
-        break;
-    }
-  }
-  if (sof < 0 || eof < 0 || sof == eof) {
-    return fail("guard/eof symbols missing or identical");
+  LaneTable lanes;
+  lanes.lanes = n;
+  lanes.dims = dims;
+  lanes.levels = levels;
+  std::vector<std::uint8_t> elem_class(network.size(), 0);
+  if (const std::string why = check_element_properties(
+          network, slots, dims, lanes.sof, lanes.eof, lanes.classes,
+          elem_class);
+      !why.empty()) {
+    return fail(why);
   }
   for (std::size_t m = 0; m < n; ++m) {
     if (!(network.element(macros[m].sort_state).symbols ==
-          SymbolSet::all_except(static_cast<std::uint8_t>(eof)))) {
+          SymbolSet::all_except(static_cast<std::uint8_t>(lanes.eof)))) {
       return fail("sort class must be all-except-eof");
     }
   }
@@ -216,7 +318,7 @@ std::shared_ptr<const BatchProgram> BatchProgram::try_compile(
     }
     const Slot& a = slots[edge.from];
     const Slot& b = slots[edge.to];
-    if (a.macro != b.macro) {
+    if (a.owner != b.owner) {
       return fail("edge crosses macros");
     }
     const bool reset_port = edge.port == CounterPort::kReset;
@@ -353,42 +455,397 @@ std::shared_ptr<const BatchProgram> BatchProgram::try_compile(
     }
   }
 
-  // --- Compile --------------------------------------------------------------
+  // --- Emit the lane table --------------------------------------------------
+  lanes.family = detect_hamming_family(lanes.classes);
+  lanes.lane_class.resize(n * dims);
+  lanes.report_elem.resize(n);
+  lanes.report_code.resize(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    lanes.report_elem[m] = macros[m].report;
+    lanes.report_code[m] = network.element(macros[m].report).report_code;
+    for (std::size_t i = 0; i < dims; ++i) {
+      lanes.lane_class[m * dims + i] = elem_class[macros[m].match[i]];
+    }
+  }
+  return compile_lanes(lanes);
+}
+
+// ---------------------------------------------------------------------------
+// Vector-packed groups (shared ladder, per-lane collectors/counter/report).
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const BatchProgram> BatchProgram::try_compile(
+    const anml::AutomataNetwork& network,
+    std::span<const PackedGroupSlots> groups, SimOptions options,
+    std::string* reason) {
+  const auto fail = [&](const std::string& why) {
+    if (reason != nullptr) {
+      *reason = why;
+    }
+    return std::shared_ptr<const BatchProgram>{};
+  };
+
+  if (options.max_counter_increment != 1) {
+    return fail("bit-parallel backend requires max_counter_increment == 1 "
+                "(enables must OR together)");
+  }
+  if (groups.empty()) {
+    return fail("no packed groups");
+  }
+  const std::size_t dims = groups[0].chain.size();
+  const std::size_t levels = groups[0].collector_levels;
+  if (dims == 0) {
+    return fail("packed group has zero dimensions");
+  }
+  if (levels == 0 || levels > 63) {
+    return fail("collector depth outside [1, 63]");
+  }
+
+  // --- Assign every element a (role, group-or-lane, position) --------------
+  // Shared roles carry the group index; collector/counter/report carry the
+  // global lane index. lane_group maps lanes back to their group.
+  std::vector<Slot> slots(network.size());
+  const auto assign = [&](ElementId id, Role role, std::size_t owner,
+                          std::size_t pos) {
+    if (id >= network.size() || slots[id].role != Role::kUnassigned) {
+      return false;
+    }
+    slots[id] = {role, static_cast<std::uint32_t>(owner),
+                 static_cast<std::uint32_t>(pos)};
+    return true;
+  };
+  std::size_t n = 0;  // total lanes
+  std::vector<std::uint32_t> lane_group;
+  ElementId prev_counter = anml::kInvalidElement;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const PackedGroupSlots& s = groups[g];
+    const std::size_t count = s.counters.size();
+    if (count == 0 || s.reports.size() != count ||
+        s.collectors.size() != count) {
+      return fail("packed group lane spans are inconsistent");
+    }
+    if (s.chain.size() != dims || s.value_states.size() != dims ||
+        s.collector_levels != levels || s.bridge.size() != levels) {
+      return fail("packed groups are not structurally identical");
+    }
+    bool ok = assign(s.guard, Role::kGuard, g, 0) &&
+              assign(s.sort_state, Role::kSort, g, 0) &&
+              assign(s.eof_state, Role::kEof, g, 0);
+    for (std::size_t i = 0; ok && i < dims; ++i) {
+      ok = assign(s.chain[i], Role::kChain, g, i);
+      if (ok && (s.value_states[i].empty() || s.value_states[i].size() > 2)) {
+        return fail("dimension must carry one or two value states");
+      }
+      for (std::size_t v = 0; ok && v < s.value_states[i].size(); ++v) {
+        ok = assign(s.value_states[i][v], Role::kMatch, g, i);
+      }
+    }
+    for (std::size_t i = 0; ok && i < levels; ++i) {
+      ok = assign(s.bridge[i], Role::kBridge, g, i);
+    }
+    for (std::size_t v = 0; ok && v < count; ++v) {
+      const std::size_t lane = n + v;
+      if (prev_counter != anml::kInvalidElement &&
+          s.counters[v] <= prev_counter) {
+        return fail("packed lanes are not in counter creation order "
+                    "(within-cycle report order would diverge)");
+      }
+      prev_counter = s.counters[v];
+      ok = assign(s.counters[v], Role::kCounter, lane, 0) &&
+           assign(s.reports[v], Role::kReport, lane, 0);
+      for (std::size_t c = 0; ok && c < s.collectors[v].size(); ++c) {
+        ok = assign(s.collectors[v][c], Role::kCollector, lane, c);
+      }
+    }
+    if (!ok) {
+      return fail("packed slot ids out of range or shared between roles");
+    }
+    lane_group.insert(lane_group.end(), count, static_cast<std::uint32_t>(g));
+    n += count;
+  }
+  for (ElementId id = 0; id < network.size(); ++id) {
+    if (slots[id].role == Role::kUnassigned) {
+      return fail("network contains elements outside the macro set");
+    }
+  }
+
+  // --- Element property checks + match-class discovery ---------------------
+  LaneTable lanes;
+  lanes.family = MacroFamily::kPacked;
+  lanes.lanes = n;
+  lanes.dims = dims;
+  lanes.levels = levels;
+  std::vector<std::uint8_t> elem_class(network.size(), 0);
+  if (const std::string why = check_element_properties(
+          network, slots, dims, lanes.sof, lanes.eof, lanes.classes,
+          elem_class);
+      !why.empty()) {
+    return fail(why);
+  }
+  for (const PackedGroupSlots& s : groups) {
+    if (!(network.element(s.sort_state).symbols ==
+          SymbolSet::all_except(static_cast<std::uint8_t>(lanes.eof)))) {
+      return fail("sort class must be all-except-eof");
+    }
+  }
+
+  // --- Edge checks ----------------------------------------------------------
+  // As for the plain shape, but the ladder fans out to shared value states
+  // and the sort/eof states fan out to EVERY lane's counter. Value states
+  // must each be driven by the wavefront (a dead leaf would desynchronise
+  // the lanes that collect it), hence the has_driver tracking.
+  std::vector<std::uint8_t> saw(network.size(), 0);
+  std::vector<std::uint8_t> has_driver(network.size(), 0);
+  std::vector<std::int32_t> collector_level(network.size(), -1);
+  std::vector<std::vector<ElementId>> collector_in(network.size());
+  std::vector<std::uint8_t> lane_sort_enable(n, 0);
+  std::vector<std::uint8_t> lane_eof_reset(n, 0);
+  for (const anml::Edge& edge : network.edges()) {
+    if (edge.from >= network.size() || edge.to >= network.size()) {
+      return fail("edge endpoint out of range");
+    }
+    const Slot& a = slots[edge.from];
+    const Slot& b = slots[edge.to];
+    const bool reset_port = edge.port == CounterPort::kReset;
+    if (edge.port == CounterPort::kThreshold) {
+      return fail("dynamic-threshold edge");
+    }
+    // Group of each endpoint (lanes resolve through lane_group).
+    const auto group_of = [&](const Slot& s) {
+      return s.role == Role::kCollector || s.role == Role::kCounter ||
+                     s.role == Role::kReport
+                 ? lane_group[s.owner]
+                 : s.owner;
+    };
+    if (group_of(a) != group_of(b)) {
+      return fail("edge crosses packed groups");
+    }
+    bool legal = false;
+    switch (a.role) {
+      case Role::kGuard:
+        legal = (b.role == Role::kChain || b.role == Role::kMatch) &&
+                b.pos == 0 && !reset_port;
+        if (legal) {
+          saw[edge.from] |= b.role == Role::kChain ? kSawFirst : kSawSecond;
+          if (b.role == Role::kMatch) {
+            has_driver[edge.to] = 1;
+          }
+        }
+        break;
+      case Role::kChain:
+        if (a.pos + 1 < dims) {
+          legal = (b.role == Role::kChain || b.role == Role::kMatch) &&
+                  b.pos == a.pos + 1 && !reset_port;
+          if (legal) {
+            saw[edge.from] |= b.role == Role::kChain ? kSawFirst : kSawSecond;
+            if (b.role == Role::kMatch) {
+              has_driver[edge.to] = 1;
+            }
+          }
+        } else {
+          legal = b.role == Role::kBridge && b.pos == 0 && !reset_port;
+          if (legal) {
+            saw[edge.from] |= kSawFirst;
+          }
+        }
+        break;
+      case Role::kMatch:
+        // Value state: feeds level-0 collectors of any lane in its group.
+        legal = b.role == Role::kCollector && !reset_port;
+        if (legal) {
+          saw[edge.from] |= kSawFirst;
+          collector_in[edge.to].push_back(edge.from);
+        }
+        break;
+      case Role::kCollector:
+        legal = (b.role == Role::kCollector || b.role == Role::kCounter) &&
+                b.owner == a.owner && !reset_port;
+        if (legal) {
+          saw[edge.from] |= kSawFirst;
+          if (b.role == Role::kCollector) {
+            collector_in[edge.to].push_back(edge.from);
+          } else {
+            saw[edge.from] |= kSawSecond;  // root: feeds the counter directly
+          }
+        }
+        break;
+      case Role::kBridge:
+        if (a.pos + 1 < levels) {
+          legal = b.role == Role::kBridge && b.pos == a.pos + 1 && !reset_port;
+        } else {
+          legal = b.role == Role::kSort && !reset_port;
+        }
+        if (legal) {
+          saw[edge.from] |= kSawFirst;
+        }
+        break;
+      case Role::kSort:
+        legal = !reset_port &&
+                ((b.role == Role::kSort && edge.to == edge.from) ||
+                 b.role == Role::kCounter || b.role == Role::kEof);
+        if (legal) {
+          if (b.role == Role::kCounter) {
+            lane_sort_enable[b.owner] = 1;
+          }
+          saw[edge.from] |= b.role == Role::kSort    ? kSawFirst
+                            : b.role == Role::kCounter ? kSawSecond
+                                                       : kSawThird;
+        }
+        break;
+      case Role::kEof:
+        legal = b.role == Role::kCounter && reset_port;
+        if (legal) {
+          lane_eof_reset[b.owner] = 1;
+          saw[edge.from] |= kSawFirst;
+        }
+        break;
+      case Role::kCounter:
+        legal = b.role == Role::kReport && b.owner == a.owner && !reset_port;
+        if (legal) {
+          saw[edge.from] |= kSawFirst;
+        }
+        break;
+      case Role::kReport:
+      case Role::kUnassigned:
+        legal = false;
+        break;
+    }
+    if (!legal) {
+      return fail("unexpected edge for the packed macro shape");
+    }
+  }
+
+  // Per-lane collector depth AND leaf coverage: lane l's tree must reach
+  // its counter in exactly `levels` steps and collect exactly one value
+  // state per dimension — that value state's class IS lane l's dim class.
+  lanes.lane_class.assign(n * dims, 0);
+  lanes.report_elem.resize(n);
+  lanes.report_code.resize(n);
+  std::vector<std::uint8_t> dim_seen(dims, 0);
+  std::size_t lane = 0;
+  for (const PackedGroupSlots& s : groups) {
+    for (std::size_t v = 0; v < s.counters.size(); ++v, ++lane) {
+      std::fill(dim_seen.begin(), dim_seen.end(), 0);
+      for (const ElementId c : s.collectors[v]) {
+        if (collector_in[c].empty()) {
+          return fail("collector with no inputs");
+        }
+        std::int32_t level = -2;
+        for (const ElementId src : collector_in[c]) {
+          std::int32_t in_level = -1;
+          if (slots[src].role == Role::kMatch) {
+            in_level = 0;
+            const std::size_t dim = slots[src].pos;
+            if (dim_seen[dim] != 0) {
+              return fail("lane collects a dimension more than once");
+            }
+            dim_seen[dim] = 1;
+            lanes.lane_class[lane * dims + dim] = elem_class[src];
+          } else {
+            in_level = collector_level[src];
+          }
+          if (in_level < 0 || (level != -2 && in_level != level)) {
+            return fail("collector tree depth is not uniform");
+          }
+          level = in_level;
+        }
+        collector_level[c] = level + 1;
+        const bool is_root = (saw[c] & kSawSecond) != 0;
+        if (is_root !=
+            (collector_level[c] == static_cast<std::int32_t>(levels))) {
+          return fail("collector root depth != collector_levels");
+        }
+      }
+      for (std::size_t i = 0; i < dims; ++i) {
+        if (dim_seen[i] == 0) {
+          return fail("lane does not collect every dimension");
+        }
+      }
+      if (lane_sort_enable[lane] == 0 || lane_eof_reset[lane] == 0) {
+        return fail("lane counter is missing its sort enable or eof reset");
+      }
+      lanes.report_elem[lane] = s.reports[v];
+      lanes.report_code[lane] = network.element(s.reports[v]).report_code;
+    }
+  }
+
+  // Required out-edges present?
+  for (ElementId id = 0; id < network.size(); ++id) {
+    std::uint8_t need = 0;
+    switch (slots[id].role) {
+      case Role::kGuard: need = kSawFirst | kSawSecond; break;
+      case Role::kChain:
+        need = slots[id].pos + 1 < dims ? (kSawFirst | kSawSecond) : kSawFirst;
+        break;
+      case Role::kMatch:
+        if (has_driver[id] == 0) {
+          return fail("value state is not driven by the wavefront");
+        }
+        need = kSawFirst;
+        break;
+      case Role::kCollector: need = kSawFirst; break;
+      case Role::kBridge: need = kSawFirst; break;
+      case Role::kSort: need = kSawFirst | kSawSecond | kSawThird; break;
+      case Role::kEof: need = kSawFirst; break;
+      case Role::kCounter: need = kSawFirst; break;
+      case Role::kReport:
+      case Role::kUnassigned: need = 0; break;
+    }
+    if ((saw[id] & need) != need) {
+      return fail("packed group is missing a required connection");
+    }
+  }
+
+  return compile_lanes(lanes);
+}
+
+// ---------------------------------------------------------------------------
+// Shared back-end: lane table -> packed program.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const BatchProgram> BatchProgram::compile_lanes(
+    const LaneTable& lanes) {
+  const std::size_t n = lanes.lanes;
+  const std::size_t dims = lanes.dims;
+
   auto prog = std::shared_ptr<BatchProgram>(new BatchProgram());
+  prog->family_ = lanes.family;
   prog->macro_count_ = n;
   prog->dims_ = dims;
-  prog->levels_ = levels;
+  prog->levels_ = lanes.levels;
   prog->words_ = (n + 63) / 64;
   prog->dim_words_ = (dims + 63) / 64;
+  prog->class_count_ = lanes.classes.size();
   prog->valid_tail_ = (n % 64) ? (std::uint64_t{1} << (n % 64)) - 1
                                : ~std::uint64_t{0};
   prog->chain_tail_ = (dims % 64) ? (std::uint64_t{1} << (dims % 64)) - 1
                                   : ~std::uint64_t{0};
-  prog->sof_ = static_cast<std::uint8_t>(sof);
-  prog->eof_ = static_cast<std::uint8_t>(eof);
+  prog->sof_ = static_cast<std::uint8_t>(lanes.sof);
+  prog->eof_ = static_cast<std::uint8_t>(lanes.eof);
 
-  const SymbolSet empty;
-  const SymbolSet& class0 = classes[0];
-  const SymbolSet& class1 = classes.size() > 1 ? classes[1] : empty;
   for (int sym = 0; sym < 256; ++sym) {
     const auto s = static_cast<std::uint8_t>(sym);
-    prog->sym_kind_[s] = static_cast<std::uint8_t>(
-        (class0.test(s) ? 1u : 0u) | (class1.test(s) ? 2u : 0u));
-  }
-  prog->dim_class1_.assign(dims * prog->words_, 0);
-  prog->report_elem_.resize(n);
-  prog->report_code_.resize(n);
-  for (std::size_t m = 0; m < n; ++m) {
-    prog->report_elem_[m] = macros[m].report;
-    prog->report_code_[m] = network.element(macros[m].report).report_code;
-    for (std::size_t i = 0; i < dims; ++i) {
-      if (classes.size() > 1 &&
-          network.element(macros[m].match[i]).symbols == class1) {
-        prog->dim_class1_[i * prog->words_ + m / 64] |= std::uint64_t{1}
-                                                        << (m % 64);
+    std::uint16_t accept = 0;
+    for (std::size_t c = 0; c < lanes.classes.size(); ++c) {
+      if (lanes.classes[c].test(s)) {
+        accept |= static_cast<std::uint16_t>(1u << c);
       }
     }
+    prog->sym_classes_[s] = accept;
   }
+
+  prog->dim_used_.assign(dims, 0);
+  prog->dim_rows_.assign(dims * prog->class_count_ * prog->words_, 0);
+  for (std::size_t l = 0; l < n; ++l) {
+    for (std::size_t i = 0; i < dims; ++i) {
+      const std::size_t c = lanes.lane_class[l * dims + i];
+      prog->dim_used_[i] |= static_cast<std::uint16_t>(1u << c);
+      prog->dim_rows_[(i * prog->class_count_ + c) * prog->words_ + l / 64] |=
+          std::uint64_t{1} << (l % 64);
+    }
+  }
+  prog->report_elem_ = lanes.report_elem;
+  prog->report_code_ = lanes.report_code;
 
   // Counter planes: biased so that count >= dims <=> a bit at plane >= P.
   const auto p = static_cast<std::uint32_t>(std::bit_width(dims - 1));
@@ -442,7 +899,7 @@ void BatchSimulator::step(std::uint8_t symbol) {
   ++cycle_;
 
   // 1. Report states: enabled by the counter outputs of the previous cycle
-  //    and matching every symbol. Ascending macro order matches the
+  //    and matching every symbol. Ascending lane order matches the
   //    reference simulator's counter-slot propagation order.
   for (std::size_t w = 0; w < words; ++w) {
     std::uint64_t bits = counter_out_[w];
@@ -457,9 +914,9 @@ void BatchSimulator::step(std::uint8_t symbol) {
   //    previous cycle (pulse mode: one cycle, then gone).
   counter_out_.swap(pulse_);
 
-  // 3. Scalar (macro-uniform) state: guard, backbone wavefronts, bridge,
+  // 3. Scalar (lane-uniform) state: guard, backbone wavefronts, bridge,
   //    sort, eof. The backbone doubles as the match-enable mask: dim i's
-  //    matching state shares its predecessor with chain state i.
+  //    matching states share their predecessor with chain state i.
   const bool guard_now = symbol == p.sof_;
   const std::uint64_t chain_top =
       (chain_[p.dim_words_ - 1] >> ((p.dims_ - 1) & 63)) & 1;
@@ -478,45 +935,31 @@ void BatchSimulator::step(std::uint8_t symbol) {
   bridge_ = ((bridge_ << 1) | chain_top) &
             ((std::uint64_t{1} << p.levels_) - 1);
 
-  // 4. Packed match word: OR the per-dimension macro masks of every enabled
-  //    dimension (usually exactly one — the wavefront position).
+  // 4. Packed match word: OR the lane-mask rows of every (enabled
+  //    dimension, accepted class) pair. The rows of one dimension
+  //    partition the live lanes, so no complement or tail masking is
+  //    needed; usually exactly one dimension (the wavefront) is enabled.
   std::fill(match_scratch_.begin(), match_scratch_.end(), 0);
-  const std::uint8_t kind = p.sym_kind_[symbol];
-  if (kind != 0) {
-    bool any = false;
-    bool negated = false;
+  const std::uint16_t accept = p.sym_classes_[symbol];
+  if (accept != 0) {
     for (std::size_t w = 0; w < p.dim_words_; ++w) {
       std::uint64_t bits = chain_[w];
       while (bits != 0) {
         const std::size_t dim = w * 64 + static_cast<std::size_t>(
                                              std::countr_zero(bits));
         bits &= bits - 1;
-        any = true;
-        if (kind == 3) {
-          break;  // both classes accept: every macro matches
-        }
-        const std::uint64_t* row = &p.dim_class1_[dim * words];
-        if (kind == 2) {
+        std::uint16_t hit = accept & p.dim_used_[dim];
+        const std::uint64_t* rows =
+            &p.dim_rows_[dim * p.class_count_ * words];
+        while (hit != 0) {
+          const auto c = static_cast<std::size_t>(std::countr_zero(hit));
+          hit &= static_cast<std::uint16_t>(hit - 1);
+          const std::uint64_t* row = rows + c * words;
           for (std::size_t i = 0; i < words; ++i) {
             match_scratch_[i] |= row[i];
           }
-        } else {  // kind == 1: macros using the first class = complement
-          negated = true;
-          for (std::size_t i = 0; i < words; ++i) {
-            match_scratch_[i] |= ~row[i];
-          }
         }
       }
-      if (any && kind == 3) {
-        break;
-      }
-    }
-    if (any && kind == 3) {
-      for (std::size_t i = 0; i < words; ++i) {
-        match_scratch_[i] = p.valid_word(i);
-      }
-    } else if (negated) {
-      match_scratch_[words - 1] &= p.valid_tail_;
     }
   }
 

@@ -1,24 +1,42 @@
 #pragma once
-// Bit-parallel batch execution of homogeneous Hamming/sorting macro
-// configurations (the Simultaneous-FA idea applied to the paper's Sec. III
-// design): because every macro in a board configuration is structurally
-// identical, the per-macro state fits ONE BIT per element slot, and a whole
-// configuration advances with word-wide AND/OR/shift operations — 64 macros
-// per machine word per operation.
+// Bit-parallel batch execution of homogeneous macro configurations (the
+// Simultaneous-FA idea applied to the paper's Sec. III design): because
+// every macro in a board configuration is structurally identical, the
+// per-macro state fits ONE BIT per element slot, and a whole configuration
+// advances with word-wide AND/OR/shift operations — 64 macros per machine
+// word per operation.
 //
-// What makes this exact (see docs/SIMULATOR_SEMANTICS.md for the contract):
+// Three macro shapes compile (docs/OPTIMIZATIONS.md details each):
+//
+//  * the plain Hamming/sorting macro family (Figs. 2a/2b, one macro per
+//    dataset vector — core::append_hamming_macro),
+//  * the vector-packed shape (Fig. 5 / Sec. VI-A, several vectors overlaid
+//    on a shared ladder — core::build_packed_network), and
+//  * the stream-multiplexed shape (Fig. 6 / Sec. VI-B, per-bit-slice macro
+//    replicas — core::build_multiplexed_network), which is the plain shape
+//    with per-slice matching classes.
+//
+// All three reduce to the same compiled form, executed by one interpreter.
+// A "lane" is one (counter, report) pair — a plain or multiplexed macro, or
+// one packed vector within its group. What makes the execution exact (see
+// docs/SIMULATOR_SEMANTICS.md for the contract):
 //
 //  * The "*" backbone, guard, bridge, sort and EOF states match classes that
 //    do not depend on the encoded vector, so their activity is IDENTICAL
-//    across macros — a handful of scalar bits per cycle.
-//  * Only the per-dimension matching states differ between macros, and each
-//    dimension uses one of at most two symbol classes (bit = 0 / bit = 1).
-//    A per-dimension macro bitmask plus a 256-entry symbol classifier yields
-//    the packed match word in O(words) per enabled dimension.
+//    across lanes — a handful of scalar bits per cycle. (Packed groups share
+//    these states physically; plain macros replicate them; either way the
+//    activity is uniform.)
+//  * Only the per-dimension matching states differ between lanes, and each
+//    lane uses exactly one of at most kMaxBatchMatchClasses distinct symbol
+//    classes per dimension (bit = 0 / bit = 1, per bit slice). A per-symbol
+//    16-bit class-acceptance mask plus one packed lane mask per (dimension,
+//    class) yields the packed match word in O(words) per enabled dimension.
 //  * With the stock per-cycle counter-increment cap of 1, simultaneous
 //    count-enable inputs OR together, so the collector reduction tree is
 //    exactly an L-cycle delay line on the OR of the matching states: the
 //    packed match word is pushed through a ring buffer of L word-vectors.
+//    This holds per lane even when packed lanes share leaf states, because
+//    every leaf-to-counter path in every lane's tree has length exactly L.
 //  * The distance counters are bit-sliced: counts live in bit planes biased
 //    by 2^P - threshold, so "count >= threshold" is a read of the top
 //    planes, an increment is a ripple-carry add of a packed mask, and
@@ -27,10 +45,11 @@
 //
 // The program compiler verifies all of this structurally and refuses
 // anything else (counters with caps > 1, boolean gates, dynamic thresholds,
-// foreign elements, irregular collector trees...): callers fall back to the
-// cycle-accurate apsim::Simulator, which stays the semantic reference.
-// BatchSimulator emits bit-identical ReportEvent streams, including
-// within-cycle ordering (ascending macro index, matching the reference
+// foreign elements, irregular collector trees, lanes out of counter-id
+// order...): callers fall back to the cycle-accurate apsim::Simulator,
+// which stays the semantic reference. BatchSimulator emits bit-identical
+// ReportEvent streams, including within-cycle ordering (ascending lane
+// index == ascending counter element id, matching the reference
 // simulator's counter-slot propagation order).
 
 #include <array>
@@ -45,10 +64,28 @@
 
 namespace apss::apsim {
 
-/// Element ids of one Hamming/sorting macro inside a configuration network
-/// (a layering-neutral mirror of core::MacroLayout; see
+/// Most distinct matching-state symbol classes a compiled configuration may
+/// use. Two (bit = 0 / bit = 1) cover the plain and packed shapes; stream
+/// multiplexing needs two per bit slice (up to 14); 16 leaves headroom
+/// while keeping the per-symbol acceptance mask one 16-bit word.
+inline constexpr std::size_t kMaxBatchMatchClasses = 16;
+
+/// Which macro shape a BatchProgram was compiled from. Execution is
+/// shape-neutral; the family feeds engine statistics and fallback
+/// reporting (core::BackendCompileStats), never dispatch.
+enum class MacroFamily : std::uint8_t {
+  kHamming,      ///< plain Hamming/sorting macros (Figs. 2a/2b)
+  kPacked,       ///< vector-packed groups (Fig. 5 / Sec. VI-A)
+  kMultiplexed,  ///< per-bit-slice macro replicas (Fig. 6 / Sec. VI-B)
+};
+
+const char* to_string(MacroFamily family) noexcept;
+
+/// Element ids of one plain Hamming/sorting macro inside a configuration
+/// network (a layering-neutral mirror of core::MacroLayout; see
 /// core::batch_slots()). Spans must stay valid for the try_compile call
-/// only.
+/// only. Multiplexed macros (core::build_multiplexed_network) use this
+/// same shape — only their matching-state classes differ per slice.
 struct HammingMacroSlots {
   anml::ElementId guard = anml::kInvalidElement;
   std::span<const anml::ElementId> chain;       ///< "*" backbone, one per dim
@@ -62,27 +99,66 @@ struct HammingMacroSlots {
   std::size_t collector_levels = 1;  ///< tree depth L
 };
 
-/// Immutable compiled form of one configuration: per-symbol classifier,
-/// per-dimension macro bitmasks, report identities, counter plane layout.
-/// Shareable across threads; each worker wraps it in its own
-/// BatchSimulator.
+/// Element ids of one vector-packed group (a layering-neutral mirror of
+/// core::PackedGroupLayout; see core::packed_batch_slots()). The guard,
+/// backbone, bridge, sort and EOF states are shared by every vector of the
+/// group; each vector keeps its own collectors, counter and report (one
+/// LANE each). Spans must stay valid for the try_compile call only.
+struct PackedGroupSlots {
+  anml::ElementId guard = anml::kInvalidElement;
+  std::span<const anml::ElementId> chain;  ///< shared "*" ladder, one per dim
+  /// Distinct-value states at each dimension (1 or 2 entries per dim).
+  std::span<const std::vector<anml::ElementId>> value_states;
+  std::span<const anml::ElementId> bridge;  ///< shared delay chain, L states
+  anml::ElementId sort_state = anml::kInvalidElement;
+  anml::ElementId eof_state = anml::kInvalidElement;
+  std::span<const anml::ElementId> counters;  ///< one per packed vector
+  std::span<const anml::ElementId> reports;   ///< one per packed vector
+  /// Per packed vector: that vector's collector-tree nodes, level by level.
+  std::span<const std::vector<anml::ElementId>> collectors;
+  std::size_t collector_levels = 1;  ///< tree depth L (1 for flat collectors)
+};
+
+/// Immutable compiled form of one configuration: per-symbol class
+/// acceptance mask, per-(dimension, class) lane masks, report identities,
+/// counter plane layout. Shareable across threads; each worker wraps it in
+/// its own BatchSimulator.
 class BatchProgram {
  public:
-  /// Verifies that (network, macros) is a supported homogeneous
-  /// Hamming/sorting configuration under `options` and compiles it.
-  /// Returns nullptr (and fills *reason when non-null) if any structural or
-  /// feature requirement fails — callers then use the cycle-accurate
-  /// Simulator.
+  /// Verifies that (network, macros) is a supported homogeneous macro
+  /// configuration under `options` — the plain Hamming/sorting shape or
+  /// its multiplexed per-slice variant — and compiles it. Returns nullptr
+  /// (and fills *reason when non-null) if any structural or feature
+  /// requirement fails — callers then use the cycle-accurate Simulator.
   static std::shared_ptr<const BatchProgram> try_compile(
       const anml::AutomataNetwork& network,
       std::span<const HammingMacroSlots> macros, SimOptions options,
       std::string* reason = nullptr);
 
+  /// Same contract for the vector-packed shape: every group must share the
+  /// guard/backbone/bridge/sort/EOF structure, every lane's collector tree
+  /// must reach its counter in exactly collector_levels steps covering each
+  /// dimension exactly once, and lanes must appear in ascending counter-id
+  /// order (the reference simulator's report order).
+  static std::shared_ptr<const BatchProgram> try_compile(
+      const anml::AutomataNetwork& network,
+      std::span<const PackedGroupSlots> groups, SimOptions options,
+      std::string* reason = nullptr);
+
+  /// Lanes in the configuration (= macros for the plain/multiplexed
+  /// shapes, = packed vectors summed over groups for the packed shape).
   std::size_t macro_count() const noexcept { return macro_count_; }
+  /// Which macro shape this program was compiled from: kPacked for the
+  /// packed overload; the plain overload reports kMultiplexed when the
+  /// matching classes are slice-ternary pairs spanning more than one bit
+  /// slice (the Fig. 6 encoding), else kHamming.
+  MacroFamily family() const noexcept { return family_; }
   std::size_t dims() const noexcept { return dims_; }
   std::size_t collector_levels() const noexcept { return levels_; }
-  /// 64-bit words per packed macro mask.
+  /// 64-bit words per packed lane mask.
   std::size_t words() const noexcept { return words_; }
+  /// Distinct matching-state symbol classes (<= kMaxBatchMatchClasses).
+  std::size_t match_classes() const noexcept { return class_count_; }
   /// Bit planes held per counter (bias + saturation headroom).
   std::size_t counter_planes() const noexcept { return planes_; }
 
@@ -90,27 +166,38 @@ class BatchProgram {
   friend class BatchSimulator;
   BatchProgram() = default;
 
+  /// Shape-neutral recognizer output (defined in batch_simulator.cpp):
+  /// both try_compile overloads reduce their verified structure to a lane
+  /// table, and this shared back-end packs it into a program.
+  struct LaneTable;
+  static std::shared_ptr<const BatchProgram> compile_lanes(
+      const LaneTable& lanes);
+
   std::uint64_t valid_word(std::size_t w) const noexcept {
     return w + 1 == words_ ? valid_tail_ : ~std::uint64_t{0};
   }
 
-  std::size_t macro_count_ = 0;
+  MacroFamily family_ = MacroFamily::kHamming;
+  std::size_t macro_count_ = 0;  ///< lanes
   std::size_t dims_ = 0;
   std::size_t levels_ = 1;
-  std::size_t words_ = 0;      ///< words per packed macro mask
+  std::size_t words_ = 0;      ///< words per packed lane mask
   std::size_t dim_words_ = 0;  ///< words per packed dimension (chain) mask
-  std::uint64_t valid_tail_ = 0;  ///< live bits of the last macro word
+  std::size_t class_count_ = 0;   ///< distinct matching classes
+  std::uint64_t valid_tail_ = 0;  ///< live bits of the last lane word
   std::uint64_t chain_tail_ = 0;  ///< live bits of the last chain word
   std::uint8_t sof_ = 0;          ///< guard symbol (single-symbol class)
   std::uint8_t eof_ = 0;          ///< reset symbol (single-symbol class)
-  /// Per-symbol classifier: bit 0 = the first match class accepts the
-  /// symbol, bit 1 = the second match class accepts it.
-  std::array<std::uint8_t, 256> sym_kind_{};
-  /// dims_ x words_: bit j of row i = macro j's dim-i matching state uses
-  /// the SECOND match class.
-  std::vector<std::uint64_t> dim_class1_;
-  std::vector<anml::ElementId> report_elem_;  ///< per macro
-  std::vector<std::uint32_t> report_code_;    ///< per macro
+  /// Per-symbol classifier: bit c = match class c accepts the symbol.
+  std::array<std::uint16_t, 256> sym_classes_{};
+  /// Per dimension: bitmask of the classes some lane uses there.
+  std::vector<std::uint16_t> dim_used_;
+  /// dims_ x class_count_ x words_: bit l of row (i, c) = lane l's dim-i
+  /// matching state uses class c. Rows of one dimension partition the live
+  /// lanes (every lane has exactly one class per dimension).
+  std::vector<std::uint64_t> dim_rows_;
+  std::vector<anml::ElementId> report_elem_;  ///< per lane
+  std::vector<std::uint32_t> report_code_;    ///< per lane
   std::uint32_t planes_ = 0;      ///< Q: bit planes per counter
   std::uint32_t cond_plane_ = 0;  ///< P: planes >= P <=> count >= threshold
   std::uint64_t bias_ = 0;        ///< 2^P - threshold, loaded on reset

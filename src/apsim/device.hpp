@@ -63,6 +63,8 @@ struct DeviceFeatures {
   std::uint32_t ste_decomposition = 1;
 };
 
+/// One named device variant: geometry + timing + feature flags. The three
+/// factories below are the paper's evaluation points (Tables III/IV/VIII).
 struct DeviceConfig {
   std::string name = "AP Gen 1";
   DeviceGeometry geometry;

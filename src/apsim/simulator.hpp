@@ -37,14 +37,19 @@
 
 namespace apss::apsim {
 
+/// One reporting-state activation: what the AP conveys to the host per
+/// match. Events are emitted in cycle order; within a cycle, counter-driven
+/// reports follow counter creation order (see docs/SIMULATOR_SEMANTICS.md).
 struct ReportEvent {
   std::uint64_t cycle = 0;  ///< 1-based symbol offset of the activation
-  anml::ElementId element = anml::kInvalidElement;
-  std::uint32_t report_code = 0;
+  anml::ElementId element = anml::kInvalidElement;  ///< the reporting STE
+  std::uint32_t report_code = 0;  ///< user payload (dataset vector id)
 
   bool operator==(const ReportEvent&) const = default;
 };
 
+/// Feature gates for a simulation run, derived from DeviceFeatures. The
+/// defaults model stock Gen-1 hardware.
 struct SimOptions {
   /// Counter increment cap per cycle (stock AP: 1).
   std::uint32_t max_counter_increment = 1;

@@ -1,12 +1,14 @@
 #pragma once
-// Bridge from the Hamming macro builder to the bit-parallel backend: views
-// a core::MacroLayout as the layering-neutral apsim::HammingMacroSlots that
-// apsim::BatchProgram::try_compile consumes. Lives apart from
-// hamming_macro.hpp so macro construction does not drag in the simulator
-// headers.
+// Bridge from the core macro builders to the bit-parallel backend: views
+// a core::MacroLayout (plain or multiplexed Hamming macro) or a
+// core::PackedGroupLayout (vector-packed group) as the layering-neutral
+// slot structs that apsim::BatchProgram::try_compile consumes. Lives apart
+// from the builder headers so macro construction does not drag in the
+// simulator headers.
 
 #include "apsim/batch_simulator.hpp"
 #include "core/hamming_macro.hpp"
+#include "core/opt/vector_packing.hpp"
 
 namespace apss::core {
 
@@ -16,6 +18,16 @@ inline apsim::HammingMacroSlots batch_slots(const MacroLayout& layout) {
   return {layout.guard,      layout.chain,     layout.match,
           layout.collectors, layout.bridge,    layout.sort_state,
           layout.eof_state,  layout.counter,   layout.report,
+          layout.collector_levels};
+}
+
+/// Packed-group view consumed by the packed try_compile overload. The
+/// spans alias `layout`, which must outlive the returned value.
+inline apsim::PackedGroupSlots packed_batch_slots(
+    const PackedGroupLayout& layout) {
+  return {layout.guard,      layout.chain,   layout.value_states,
+          layout.bridge,     layout.sort_state, layout.eof_state,
+          layout.counters,   layout.reports, layout.collectors,
           layout.collector_levels};
 }
 

@@ -14,15 +14,40 @@ ApKnnEngine::ApKnnEngine(knn::BinaryDataset dataset, EngineOptions options)
     throw std::invalid_argument("ApKnnEngine: empty dataset");
   }
   const std::size_t dims = dataset_.dims();
-  spec_ = StreamSpec{dims, collector_levels_for(dims, options_.macro)};
+  const bool packed = options_.packing_group_size > 0;
+  VectorPackingOptions pack_opt;
+  pack_opt.group_size = options_.packing_group_size;
+  pack_opt.style = options_.packing_style;
+  pack_opt.macro = options_.macro;
+  spec_ = StreamSpec{dims, packed && pack_opt.style == CollectorStyle::kFlat
+                               ? 1
+                               : collector_levels_for(dims, options_.macro)};
 
-  // Board capacity: how many macros fit one configuration. Use a prototype
-  // macro's footprint (all macros of a given dimensionality are isomorphic).
+  // Board capacity: how many vectors fit one configuration. Plain macros of
+  // a given dimensionality are isomorphic, so any vector serves as the
+  // prototype. Packed groups differ in how many value states their vectors
+  // share, so the prototype is a WORST-CASE group (alternating all-zeros /
+  // all-ones rows: two value states at every dimension once the group holds
+  // two vectors) — capacity must never overcommit the board just because
+  // the first group happened to share more than later ones.
   {
     anml::AutomataNetwork prototype("prototype");
-    append_hamming_macro(prototype, dataset_.vector(0), 0, options_.macro);
+    std::size_t vectors_per_copy = 1;
+    if (packed) {
+      vectors_per_copy = std::min(pack_opt.group_size, dataset_.size());
+      knn::BinaryDataset worst(vectors_per_copy, dims);
+      for (std::size_t v = 1; v < vectors_per_copy; v += 2) {
+        for (std::size_t i = 0; i < dims; ++i) {
+          worst.set(v, i, true);
+        }
+      }
+      append_packed_group(prototype, worst, 0, vectors_per_copy, pack_opt);
+    } else {
+      append_hamming_macro(prototype, dataset_.vector(0), 0, options_.macro);
+    }
     const apsim::MacroFootprint fp = apsim::footprint_of(prototype);
-    capacity_ = apsim::max_copies(fp, options_.board, options_.placement);
+    capacity_ = apsim::max_copies(fp, options_.board, options_.placement) *
+                vectors_per_copy;
     if (capacity_ == 0) {
       throw std::invalid_argument(
           "ApKnnEngine: one macro exceeds the board capacity");
@@ -36,6 +61,9 @@ ApKnnEngine::ApKnnEngine(knn::BinaryDataset dataset, EngineOptions options)
   // bit-parallel backend is requested, each configuration is additionally
   // compiled into a packed BatchProgram; failures leave `program` null and
   // that configuration runs on the cycle-accurate simulator.
+  const apsim::SimOptions sim_options =
+      apsim::SimOptions::from(options_.device.features);
+  std::string decline_reason;
   for (std::size_t begin = 0; begin < dataset_.size(); begin += capacity_) {
     const std::size_t count = std::min(capacity_, dataset_.size() - begin);
     Partition p;
@@ -43,24 +71,75 @@ ApKnnEngine::ApKnnEngine(knn::BinaryDataset dataset, EngineOptions options)
     p.count = count;
     p.network = std::make_unique<anml::AutomataNetwork>(
         "config" + std::to_string(partitions_.size()));
-    std::vector<MacroLayout> layouts;
-    layouts.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      layouts.push_back(append_hamming_macro(
-          *p.network, dataset_.vector(begin + i),
-          static_cast<std::uint32_t>(begin + i), options_.macro));
-      if (layouts.back().collector_levels != spec_.collector_levels) {
-        throw std::logic_error("ApKnnEngine: inconsistent collector depth");
+    if (packed) {
+      std::vector<PackedGroupLayout> layouts;
+      for (std::size_t gb = begin; gb < begin + count;
+           gb += pack_opt.group_size) {
+        const std::size_t gcount =
+            std::min(pack_opt.group_size, begin + count - gb);
+        layouts.push_back(
+            append_packed_group(*p.network, dataset_, gb, gcount, pack_opt));
+        if (layouts.back().collector_levels != spec_.collector_levels) {
+          throw std::logic_error("ApKnnEngine: inconsistent collector depth");
+        }
+      }
+      if (options_.backend == SimulationBackend::kBitParallel) {
+        std::vector<apsim::PackedGroupSlots> slots;
+        slots.reserve(layouts.size());
+        for (const PackedGroupLayout& layout : layouts) {
+          slots.push_back(packed_batch_slots(layout));
+        }
+        p.program = apsim::BatchProgram::try_compile(*p.network, slots,
+                                                     sim_options,
+                                                     &decline_reason);
+      }
+    } else {
+      std::vector<MacroLayout> layouts;
+      layouts.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        layouts.push_back(append_hamming_macro(
+            *p.network, dataset_.vector(begin + i),
+            static_cast<std::uint32_t>(begin + i), options_.macro));
+        if (layouts.back().collector_levels != spec_.collector_levels) {
+          throw std::logic_error("ApKnnEngine: inconsistent collector depth");
+        }
+      }
+      if (options_.backend == SimulationBackend::kBitParallel) {
+        std::vector<apsim::HammingMacroSlots> slots;
+        slots.reserve(count);
+        for (const MacroLayout& layout : layouts) {
+          slots.push_back(batch_slots(layout));
+        }
+        p.program = apsim::BatchProgram::try_compile(*p.network, slots,
+                                                     sim_options,
+                                                     &decline_reason);
       }
     }
-    if (options_.backend == SimulationBackend::kBitParallel) {
-      std::vector<apsim::HammingMacroSlots> slots;
-      slots.reserve(count);
-      for (const MacroLayout& layout : layouts) {
-        slots.push_back(batch_slots(layout));
+
+    // Backend/fallback bookkeeping (EngineStats::backend): count the fast
+    // path per macro family; aggregate decline reasons so no configuration
+    // falls back to the cycle-accurate simulator silently.
+    ++compile_stats_.configurations;
+    if (p.program != nullptr) {
+      ++compile_stats_.bit_parallel;
+      switch (p.program->family()) {
+        case apsim::MacroFamily::kHamming: ++compile_stats_.hamming; break;
+        case apsim::MacroFamily::kPacked: ++compile_stats_.packed; break;
+        case apsim::MacroFamily::kMultiplexed:
+          ++compile_stats_.multiplexed;
+          break;
       }
-      p.program = apsim::BatchProgram::try_compile(
-          *p.network, slots, apsim::SimOptions::from(options_.device.features));
+    } else if (options_.backend == SimulationBackend::kBitParallel) {
+      ++compile_stats_.fallback;
+      auto& reasons = compile_stats_.fallback_reasons;
+      const auto it = std::find_if(
+          reasons.begin(), reasons.end(),
+          [&](const auto& entry) { return entry.first == decline_reason; });
+      if (it != reasons.end()) {
+        ++it->second;
+      } else {
+        reasons.emplace_back(decline_reason, 1);
+      }
     }
     partitions_.push_back(std::move(p));
   }
@@ -86,6 +165,7 @@ EngineStats ApKnnEngine::project(std::size_t query_count) const {
   s.cycles_per_query = spec_.cycles_per_query();
   s.queries = query_count;
   s.simulated_cycles = query_count * s.cycles_per_query * s.configurations;
+  s.backend = compile_stats_;
   return s;
 }
 

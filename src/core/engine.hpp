@@ -7,6 +7,8 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "anml/network.hpp"
@@ -14,6 +16,7 @@
 #include "apsim/placement.hpp"
 #include "apsim/simulator.hpp"
 #include "core/hamming_macro.hpp"
+#include "core/opt/vector_packing.hpp"
 #include "core/stream.hpp"
 #include "knn/dataset.hpp"
 #include "knn/exact.hpp"
@@ -30,12 +33,33 @@ enum class SimulationBackend {
   /// The frontier-based reference simulator (apsim::Simulator): supports
   /// every element kind and device feature; the semantic ground truth.
   kCycleAccurate,
-  /// The packed 64-macros-per-word fast path (apsim::BatchSimulator).
-  /// Bit-identical report streams on homogeneous Hamming configurations;
-  /// any configuration it cannot prove supported (counters capped above 1
+  /// The packed 64-lanes-per-word fast path (apsim::BatchSimulator).
+  /// Bit-identical report streams on homogeneous Hamming configurations —
+  /// plain, vector-packed, and stream-multiplexed macro shapes alike; any
+  /// configuration it cannot prove supported (counters capped above 1
   /// increment/cycle, boolean gates, dynamic thresholds, foreign elements)
-  /// silently falls back to the cycle-accurate simulator.
+  /// falls back to the cycle-accurate simulator, per configuration, with
+  /// the decline reason recorded in EngineStats::backend.
   kBitParallel,
+};
+
+/// Per-configuration compile outcome of the bit-parallel backend: which
+/// simulator runs each configuration, by macro family, and why anything
+/// fell back — so cycle-accurate fallbacks are visible (ISSUE 5), not
+/// silent. Filled at engine construction; reported via EngineStats and
+/// printed by `apss_cli knn --backend=bit`.
+struct BackendCompileStats {
+  std::size_t configurations = 0;  ///< total configurations built
+  std::size_t bit_parallel = 0;    ///< compiled for apsim::BatchSimulator
+  std::size_t fallback = 0;        ///< declined -> cycle-accurate path
+  std::size_t hamming = 0;         ///< fast-path configs per macro family
+  std::size_t packed = 0;
+  std::size_t multiplexed = 0;
+  /// Distinct try_compile decline reasons -> configuration counts (empty
+  /// when nothing fell back or the backend is kCycleAccurate).
+  std::vector<std::pair<std::string, std::size_t>> fallback_reasons;
+
+  bool operator==(const BackendCompileStats&) const = default;
 };
 
 struct EngineOptions {
@@ -54,6 +78,16 @@ struct EngineOptions {
   std::size_t queries_per_chunk = 64;
   /// Simulation backend (default: the cycle-accurate reference).
   SimulationBackend backend = SimulationBackend::kCycleAccurate;
+  /// When > 0, each configuration is built with the Sec. VI-A
+  /// vector-packing transform — this many vectors overlay one shared
+  /// ladder per group — instead of one macro per vector. Board capacity,
+  /// streams, report codes and decoding are unchanged; the packed network
+  /// just spends fewer STEs per vector.
+  std::size_t packing_group_size = 0;
+  /// Collector style for packed configurations. kTree (default) stays
+  /// routable at high dimensionality; kFlat reproduces the paper's naive
+  /// construction (fan-in = dims, "places but only partially routes").
+  CollectorStyle packing_style = CollectorStyle::kTree;
 };
 
 /// Cycle/report accounting for the device-time model (Sec. V).
@@ -64,8 +98,21 @@ struct EngineStats {
   std::size_t queries = 0;
   std::size_t simulated_cycles = 0;  ///< total across configurations
   std::size_t report_events = 0;
+  /// Which backend compiled each configuration (and why any fell back).
+  BackendCompileStats backend;
 
   bool operator==(const EngineStats&) const = default;
+
+  /// Backend-independent accounting equality: the two backends must do the
+  /// SAME device work (cycles, reports, splits) even though `backend`
+  /// legitimately differs between them.
+  bool same_work(const EngineStats& o) const {
+    return configurations == o.configurations &&
+           vectors_per_config == o.vectors_per_config &&
+           cycles_per_query == o.cycles_per_query && queries == o.queries &&
+           simulated_cycles == o.simulated_cycles &&
+           report_events == o.report_events;
+  }
 
   /// Device busy time: every configuration streams every query.
   double compute_seconds(const apsim::DeviceTiming& t) const {
@@ -103,6 +150,12 @@ class ApKnnEngine {
   /// backend is kCycleAccurate or every configuration fell back).
   std::size_t bit_parallel_configurations() const noexcept;
 
+  /// Per-configuration backend/fallback-reason counters collected while
+  /// compiling (also embedded in every EngineStats this engine produces).
+  const BackendCompileStats& backend_stats() const noexcept {
+    return compile_stats_;
+  }
+
   /// The compiled automata network of configuration `i` (for inspection,
   /// ANML export, and resource benches).
   const anml::AutomataNetwork& network(std::size_t i) const {
@@ -134,6 +187,7 @@ class ApKnnEngine {
   StreamSpec spec_;
   std::size_t capacity_ = 0;
   std::vector<Partition> partitions_;
+  BackendCompileStats compile_stats_;
   EngineStats stats_;
 };
 

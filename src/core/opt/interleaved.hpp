@@ -32,6 +32,9 @@
 
 namespace apss::core {
 
+/// Control symbols added by the interleaved design: per-parity SOF markers
+/// (frames alternate kSofA / kSofB so each half knows which frames are
+/// "its" data phases). Disjoint from core::Alphabet's control codes.
 struct InterleavedAlphabet {
   static constexpr std::uint8_t kSofA = 0x84;
   static constexpr std::uint8_t kSofB = 0x85;
@@ -68,6 +71,7 @@ struct InterleavedSpec {
   }
 };
 
+/// Element ids of one two-parity interleaved macro (for tests and traces).
 struct InterleavedMacroLayout {
   /// Per parity half: guard / counter / report element ids.
   anml::ElementId guard[2] = {anml::kInvalidElement, anml::kInvalidElement};

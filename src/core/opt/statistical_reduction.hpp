@@ -22,6 +22,9 @@
 
 namespace apss::core {
 
+/// Element ids of one reduction group: the p member macros plus the LNC
+/// (pulse counter, threshold k') that resets the members' distance
+/// counters once k' local reports have fired.
 struct ReductionGroupLayout {
   std::vector<MacroLayout> macros;
   anml::ElementId local_neighbor_counter = anml::kInvalidElement;

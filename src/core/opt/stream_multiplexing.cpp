@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "apsim/batch_simulator.hpp"
 #include "apsim/simulator.hpp"
+#include "core/batch_compile.hpp"
 #include "core/temporal_decode.hpp"
 
 namespace apss::core {
@@ -73,14 +75,25 @@ std::vector<std::uint8_t> MultiplexedStreamEncoder::encode_batch(
 }
 
 MultiplexedKnn::MultiplexedKnn(knn::BinaryDataset data, std::size_t slices,
-                               HammingMacroOptions options)
+                               HammingMacroOptions options,
+                               SimulationBackend backend)
     : data_(std::move(data)), slices_(slices), network_("multiplexed") {
   if (data_.empty()) {
     throw std::invalid_argument("MultiplexedKnn: empty dataset");
   }
   spec_ = StreamSpec{data_.dims(),
                      collector_levels_for(data_.dims(), options)};
-  build_multiplexed_network(network_, data_, slices_, options);
+  const auto layouts =
+      build_multiplexed_network(network_, data_, slices_, options);
+  if (backend == SimulationBackend::kBitParallel) {
+    std::vector<apsim::HammingMacroSlots> slots;
+    slots.reserve(layouts.size());
+    for (const MacroLayout& layout : layouts) {
+      slots.push_back(batch_slots(layout));
+    }
+    program_ =
+        apsim::BatchProgram::try_compile(network_, slots, {}, &fallback_reason_);
+  }
 }
 
 std::vector<std::vector<knn::Neighbor>> MultiplexedKnn::search(
@@ -92,13 +105,24 @@ std::vector<std::vector<knn::Neighbor>> MultiplexedKnn::search(
     throw std::invalid_argument("MultiplexedKnn::search: k must be >= 1");
   }
   const MultiplexedStreamEncoder encoder(spec_);
-  apsim::Simulator sim(network_);
+  // One simulator on whichever backend compiled (constructing the unused
+  // reference would pay a full validation pass over the 7x-replicated
+  // network); frames reset the state, so run() per frame matches a fresh
+  // simulator per frame.
+  std::unique_ptr<apsim::Simulator> reference;
+  std::unique_ptr<apsim::BatchSimulator> batch;
+  if (program_ != nullptr) {
+    batch = std::make_unique<apsim::BatchSimulator>(program_);
+  } else {
+    reference = std::make_unique<apsim::Simulator>(network_);
+  }
   std::vector<std::vector<knn::Neighbor>> results(queries.size());
 
   for (std::size_t begin = 0; begin < queries.size(); begin += slices_) {
     const std::size_t count = std::min(slices_, queries.size() - begin);
     const auto frame = encoder.encode_group(queries, begin, count);
-    const auto events = sim.run(frame);
+    const auto events =
+        batch != nullptr ? batch->run(frame) : reference->run(frame);
     // Demux: slice s belongs to query begin+s.
     for (const apsim::ReportEvent& event : events) {
       const std::size_t slice = MuxReportCode::slice(event.report_code);

@@ -6,6 +6,8 @@
 // match 0b*......b on their slice — the TCAM-style encoding of the paper.
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "anml/network.hpp"
@@ -62,17 +64,35 @@ class MultiplexedStreamEncoder {
 /// slice-replicated network, streams 7 queries per frame, and demuxes
 /// reports back to per-query neighbor lists. Used by tests and the Fig. 6
 /// bench to demonstrate the 7x query-throughput improvement.
+///
+/// Invariants: the dataset is non-empty, 1 <= slices <= kMaxSlices, and
+/// every macro shares one StreamSpec (uniform collector depth).
 class MultiplexedKnn {
  public:
+  /// Builds the slice-replicated network. With backend == kBitParallel the
+  /// network is additionally compiled for apsim::BatchSimulator (the
+  /// multiplexed shape always compiles under stock device features); if
+  /// compilation declines, search() falls back to the cycle-accurate
+  /// simulator, exactly like core::ApKnnEngine.
   MultiplexedKnn(knn::BinaryDataset data, std::size_t slices = kMaxSlices,
-                 HammingMacroOptions options = {});
+                 HammingMacroOptions options = {},
+                 SimulationBackend backend = SimulationBackend::kCycleAccurate);
 
+  /// Exact kNN for all rows of `queries`, `slices` queries per frame.
+  /// Returns ascending-distance neighbor lists of dataset vector ids.
   std::vector<std::vector<knn::Neighbor>> search(
       const knn::BinaryDataset& queries, std::size_t k) const;
 
   const anml::AutomataNetwork& network() const noexcept { return network_; }
   std::size_t slices() const noexcept { return slices_; }
   const StreamSpec& spec() const noexcept { return spec_; }
+  /// True when search() runs on the bit-parallel batch backend.
+  bool bit_parallel() const noexcept { return program_ != nullptr; }
+  /// Why try_compile declined when a kBitParallel request fell back to the
+  /// cycle-accurate simulator (empty otherwise) — fallbacks stay visible.
+  const std::string& fallback_reason() const noexcept {
+    return fallback_reason_;
+  }
 
   /// Frames (and thus cycles) needed for `q` queries: ceil(q / slices) vs
   /// q for the base design — the throughput gain of Sec. VI-B.
@@ -85,6 +105,9 @@ class MultiplexedKnn {
   std::size_t slices_;
   StreamSpec spec_;
   anml::AutomataNetwork network_;
+  /// Compiled bit-parallel program; null = use the cycle-accurate path.
+  std::shared_ptr<const apsim::BatchProgram> program_;
+  std::string fallback_reason_;
 };
 
 }  // namespace apss::core

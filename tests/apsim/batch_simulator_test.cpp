@@ -188,6 +188,7 @@ TEST(BatchProgram, CompilesTheEngineMacroFamily) {
   EXPECT_EQ(program->macro_count(), 70u);
   EXPECT_EQ(program->dims(), 16u);
   EXPECT_EQ(program->words(), 2u);  // 70 macros -> two 64-bit words
+  EXPECT_EQ(program->family(), MacroFamily::kHamming);  // single-slice classes
 }
 
 TEST(BatchSimulator, RejectsNullProgram) {
@@ -227,17 +228,47 @@ TEST(BatchProgram, RejectsTamperedThreshold) {
   EXPECT_NE(reason.find("threshold"), std::string::npos) << reason;
 }
 
-TEST(BatchProgram, RejectsTamperedMatchClasses) {
+TEST(BatchProgram, ExtraMatchClassesCompileAndStayIdentical) {
+  // Since the multiplexed-shape generalization, up to kMaxBatchMatchClasses
+  // distinct matching classes are supported — a third class (formerly a
+  // rejection) must compile AND stay bit-identical to the reference.
   util::Rng rng(5);
   Config c = build_config(test::random_dataset(rng, 4, 8));
-  // A third distinct class among the matching states breaks the two-class
-  // (bit 0 / bit 1) invariant the packed masks rely on.
   c.network.element(c.layouts[1].match[2]).symbols =
       anml::SymbolSet::single('z');
+  const auto program = compile_or_die(c);
+  EXPECT_EQ(program->match_classes(), 3u);
+  const core::SymbolStreamEncoder enc(c.spec);
+  auto stream = enc.encode_batch(test::random_dataset(rng, 2, 8));
+  stream.push_back('z');  // exercise the foreign class directly
+  expect_identical_runs(c, stream, "three classes");
+}
+
+TEST(BatchProgram, RejectsMoreClassesThanTheAcceptanceMaskHolds) {
+  util::Rng rng(5);
+  Config c = build_config(test::random_dataset(rng, 20, 24));
+  // 17 distinct single-symbol classes overflow the 16-bit class budget.
+  for (std::size_t i = 0; i <= kMaxBatchMatchClasses; ++i) {
+    c.network.element(c.layouts[i].match[0]).symbols =
+        anml::SymbolSet::single(static_cast<std::uint8_t>('a' + i));
+  }
   std::string reason;
   const auto slots = c.slots();
   EXPECT_EQ(BatchProgram::try_compile(c.network, slots, {}, &reason), nullptr);
   EXPECT_NE(reason.find("match classes"), std::string::npos) << reason;
+}
+
+TEST(BatchProgram, RejectsMacrosOutOfCounterOrder) {
+  // The reference emits within-cycle reports in counter creation order;
+  // a permuted macro span would silently reorder them, so it must decline.
+  util::Rng rng(7);
+  Config c = build_config(test::random_dataset(rng, 6, 8));
+  std::swap(c.layouts[2], c.layouts[4]);
+  std::string reason;
+  const auto slots = c.slots();
+  EXPECT_EQ(BatchProgram::try_compile(c.network, slots, {}, &reason), nullptr);
+  EXPECT_NE(reason.find("counter creation order"), std::string::npos)
+      << reason;
 }
 
 TEST(BatchProgram, RejectsTamperedStartKinds) {

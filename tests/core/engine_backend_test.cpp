@@ -35,7 +35,7 @@ void expect_same_search(const knn::BinaryDataset& data,
   for (std::size_t q = 0; q < expected.size(); ++q) {
     EXPECT_EQ(actual[q], expected[q]) << context << " query " << q;
   }
-  EXPECT_EQ(bit.last_stats(), cycle.last_stats()) << context;
+  EXPECT_TRUE(bit.last_stats().same_work(cycle.last_stats())) << context;
   test::expect_valid_knn_results(data, queries, k, actual, context);
 }
 
@@ -46,9 +46,23 @@ TEST(EngineBackend, BitParallelCompilesEveryConfiguration) {
   EXPECT_EQ(engine.configurations(), 5u);
   EXPECT_EQ(engine.bit_parallel_configurations(), 5u);
 
+  // Per-family counters: every configuration is a plain Hamming board.
+  const BackendCompileStats& bs = engine.backend_stats();
+  EXPECT_EQ(bs.configurations, 5u);
+  EXPECT_EQ(bs.bit_parallel, 5u);
+  EXPECT_EQ(bs.fallback, 0u);
+  EXPECT_EQ(bs.hamming, 5u);
+  EXPECT_EQ(bs.packed, 0u);
+  EXPECT_EQ(bs.multiplexed, 0u);
+  EXPECT_TRUE(bs.fallback_reasons.empty());
+  EXPECT_EQ(engine.project(3).backend, bs);
+
   ApKnnEngine reference(data,
                         backend_options(SimulationBackend::kCycleAccurate, 8));
   EXPECT_EQ(reference.bit_parallel_configurations(), 0u);
+  EXPECT_EQ(reference.backend_stats().configurations, 5u);
+  EXPECT_EQ(reference.backend_stats().bit_parallel, 0u);
+  EXPECT_EQ(reference.backend_stats().fallback, 0u);  // never attempted
 }
 
 TEST(EngineBackend, SearchMatchesAcrossConfigurationSplits) {
@@ -83,6 +97,44 @@ TEST(EngineBackend, WideDimsUseDeeperCollectorTrees) {
   expect_same_search(data, queries, 3, opt, opt, "deep-tree");
 }
 
+TEST(EngineBackend, PackedConfigurationsCompileAndMatch) {
+  // Vector-packed configurations (Sec. VI-A) take the fast path too: the
+  // packed try_compile overload must accept every engine-built group and
+  // search() must stay identical to the cycle-accurate reference.
+  util::Rng rng(310);
+  for (const auto style :
+       {CollectorStyle::kFlat, CollectorStyle::kTree}) {
+    const auto data = test::random_dataset(rng, 29, 24);
+    const auto queries = test::random_dataset(rng, 6, 24);
+    EngineOptions opt = backend_options({}, 10);
+    opt.packing_group_size = 4;
+    opt.packing_style = style;
+    ApKnnEngine bit(data, [&] {
+      EngineOptions o = opt;
+      o.backend = SimulationBackend::kBitParallel;
+      return o;
+    }());
+    EXPECT_EQ(bit.bit_parallel_configurations(), bit.configurations());
+    EXPECT_EQ(bit.backend_stats().packed, bit.configurations());
+    EXPECT_EQ(bit.backend_stats().hamming, 0u);
+    expect_same_search(data, queries, 5, opt, opt,
+                       style == CollectorStyle::kFlat ? "packed-flat"
+                                                      : "packed-tree");
+  }
+}
+
+TEST(EngineBackend, PackedFallsBackWhenDeviceFeaturesUnsupported) {
+  const auto data = knn::BinaryDataset::uniform(18, 16, 309);
+  const auto queries = knn::BinaryDataset::uniform(5, 16, 311);
+  EngineOptions opt = backend_options(SimulationBackend::kBitParallel, 6);
+  opt.packing_group_size = 3;
+  opt.device = apsim::DeviceConfig::opt_ext();
+  ApKnnEngine engine(data, opt);
+  EXPECT_EQ(engine.bit_parallel_configurations(), 0u);
+  const auto results = engine.search(queries, 4);
+  test::expect_valid_knn_results(data, queries, 4, results);
+}
+
 TEST(EngineBackend, FallsBackWhenDeviceFeaturesUnsupported) {
   // Opt+Ext raises the counter-increment cap to 8: outside the bit-parallel
   // subset, so every configuration must fall back yet still answer exactly.
@@ -94,6 +146,19 @@ TEST(EngineBackend, FallsBackWhenDeviceFeaturesUnsupported) {
   EXPECT_EQ(engine.bit_parallel_configurations(), 0u);
   const auto results = engine.search(queries, 4);
   test::expect_valid_knn_results(data, queries, 4, results);
+
+  // No silent fallback: every declined configuration carries its reason,
+  // aggregated per distinct reason, and search() embeds them in the stats.
+  const BackendCompileStats& bs = engine.backend_stats();
+  EXPECT_EQ(bs.configurations, 3u);
+  EXPECT_EQ(bs.bit_parallel, 0u);
+  EXPECT_EQ(bs.fallback, 3u);
+  ASSERT_EQ(bs.fallback_reasons.size(), 1u);
+  EXPECT_EQ(bs.fallback_reasons[0].second, 3u);
+  EXPECT_NE(bs.fallback_reasons[0].first.find("max_counter_increment"),
+            std::string::npos)
+      << bs.fallback_reasons[0].first;
+  EXPECT_EQ(engine.last_stats().backend, bs);
 }
 
 }  // namespace

@@ -63,7 +63,7 @@ TEST_P(EngineSweep, BitParallelBackendAgreesWithCycleAccurate) {
   for (std::size_t q = 0; q < expected.size(); ++q) {
     EXPECT_EQ(actual[q], expected[q]) << "query " << q;
   }
-  EXPECT_EQ(bit.last_stats(), cycle.last_stats());
+  EXPECT_TRUE(bit.last_stats().same_work(cycle.last_stats()));
 }
 
 TEST_P(EngineSweep, InterleavedDesignAgrees) {
@@ -132,6 +132,30 @@ TEST_P(PackingSweep, PackedReportsEqualUnpackedReports) {
   EXPECT_EQ(decoder.decode(eu), decoder.decode(ep));
 }
 
+TEST_P(PackingSweep, BitParallelBackendAgreesOnPackedEngines) {
+  // Same grid, end to end through the engine: packed configurations on the
+  // bit-parallel backend must reproduce the cycle-accurate neighbor lists
+  // and stats for every group size and collector style.
+  const auto [group_size, style] = GetParam();
+  const std::size_t dims = 20;
+  const auto data = knn::BinaryDataset::uniform(11, dims, 8400 + group_size);
+  const auto queries = knn::BinaryDataset::uniform(3, dims, 8500);
+  EngineOptions cycle_opt;
+  cycle_opt.packing_group_size = group_size;
+  cycle_opt.packing_style = style;
+  cycle_opt.max_vectors_per_config = 6;
+  EngineOptions bit_opt = cycle_opt;
+  bit_opt.backend = SimulationBackend::kBitParallel;
+  ApKnnEngine cycle(data, cycle_opt);
+  ApKnnEngine bit(data, bit_opt);
+  ASSERT_EQ(bit.bit_parallel_configurations(), bit.configurations());
+  const auto expected = cycle.search(queries, 4);
+  const auto actual = bit.search(queries, 4);
+  ASSERT_EQ(actual, expected);
+  EXPECT_TRUE(bit.last_stats().same_work(cycle.last_stats()));
+  test::expect_valid_knn_results(data, queries, 4, actual);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Grid, PackingSweep,
     ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 8u, 11u),
@@ -157,6 +181,20 @@ TEST_P(MuxSweep, EverySliceCountReturnsExactKnn) {
   const auto results = mux.search(queries, 3);
   test::expect_valid_knn_results(data, queries, 3, results,
                                  "slices=" + std::to_string(slices));
+}
+
+TEST_P(MuxSweep, BitParallelBackendAgreesForEverySliceCount) {
+  // The multiplexed shape compiles to the batch backend (two match classes
+  // per slice); its demuxed kNN answers must equal the reference path's.
+  const std::size_t slices = GetParam();
+  const auto data = knn::BinaryDataset::uniform(18, 12, 8200 + slices);
+  const auto queries =
+      knn::BinaryDataset::uniform(2 * slices + 1, 12, 8300);
+  const MultiplexedKnn cycle(data, slices);
+  const MultiplexedKnn bit(data, slices, {},
+                           SimulationBackend::kBitParallel);
+  ASSERT_TRUE(bit.bit_parallel());
+  EXPECT_EQ(bit.search(queries, 3), cycle.search(queries, 3));
 }
 
 INSTANTIATE_TEST_SUITE_P(Grid, MuxSweep,
