@@ -5,12 +5,20 @@
 // clock, simulated cycles, and modeled device time recorded to
 // BENCH_fig8_comparison.json.
 //
+// A thread-sweep section then re-runs the bit-parallel search with
+// EngineOptions::threads in {1, 2, 4, ...}, asserting bit-identical
+// neighbor lists AND a bit-identical merged ReportEvent stream at every
+// thread count, and records the scaling (knn_thread_sweep records).
+//
 // Usage: bench_fig8_comparison [n] [dims] [queries]   (defaults 1024 128 32)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "apsim/simulator.hpp"
 #include "core/engine.hpp"
@@ -163,6 +171,80 @@ int run_backend_comparison(util::BenchReport& report, std::size_t n,
   return 0;
 }
 
+int run_thread_sweep(util::BenchReport& report, std::size_t n,
+                     std::size_t dims, std::size_t queries_n) {
+  const std::size_t k = 10;
+  const auto data = knn::BinaryDataset::uniform(n, dims, 97);
+  const auto queries = knn::BinaryDataset::uniform(queries_n, dims, 98);
+
+  // Fixed sweep (not capped at hardware_concurrency): correctness must
+  // hold even oversubscribed, and the scaling rows are meaningful wherever
+  // the snapshot was recorded. Best-of-3 timing per point — the bit-
+  // parallel search is milliseconds, well inside scheduler noise.
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  constexpr int kReps = 3;
+  util::TablePrinter table(
+      "Bit-parallel thread sweep (configuration/frame shards, " +
+      std::to_string(hw) + " hardware threads, best of " +
+      std::to_string(kReps) + ")");
+  table.set_header({"threads", "wall s", "speedup", "stream events"});
+  double base_wall = 0.0;
+  std::vector<std::vector<knn::Neighbor>> base_results;
+  std::vector<apsim::ReportEvent> base_stream;
+  std::size_t errors = 0;
+  for (const std::size_t t : {1, 2, 4, 8}) {
+    core::EngineOptions opt;
+    opt.backend = core::SimulationBackend::kBitParallel;
+    opt.threads = t;
+    opt.collect_report_stream = true;
+    core::ApKnnEngine engine(data, opt);
+    double wall = 0.0;
+    std::vector<std::vector<knn::Neighbor>> results;
+    for (int rep = 0; rep < kReps; ++rep) {
+      util::Timer timer;
+      auto rep_results = engine.search(queries, k);
+      const double rep_wall = timer.seconds();
+      if (rep == 0) {
+        wall = rep_wall;
+        results = std::move(rep_results);
+      } else if (rep_results != results) {
+        std::fprintf(stderr, "FAIL: threads=%zu rep %d diverged\n", t, rep);
+        ++errors;
+      } else {
+        wall = std::min(wall, rep_wall);
+      }
+    }
+    if (t == 1) {
+      base_wall = wall;
+      base_results = results;
+      base_stream = engine.last_report_stream();
+    } else if (results != base_results ||
+               engine.last_report_stream() != base_stream) {
+      std::fprintf(stderr,
+                   "FAIL: threads=%zu diverged from the single-threaded "
+                   "reference (results or merged report stream)\n", t);
+      ++errors;
+    }
+    const double speedup = wall > 0.0 ? base_wall / wall : 0.0;
+    table.add_row({std::to_string(t), util::TablePrinter::fmt(wall, 4),
+                   util::TablePrinter::fmt(speedup, 2),
+                   std::to_string(engine.last_report_stream().size())});
+    report.write(util::BenchRecord("knn_thread_sweep")
+                     .param("n", static_cast<std::uint64_t>(n))
+                     .param("dims", static_cast<std::uint64_t>(dims))
+                     .param("queries", static_cast<std::uint64_t>(queries_n))
+                     .param("threads", static_cast<std::uint64_t>(t))
+                     .param("hardware_threads", static_cast<std::uint64_t>(hw))
+                     .param("speedup_vs_1_thread", speedup)
+                     .wall_seconds(wall));
+  }
+  table.add_note("identical neighbor lists and merged ReportEvent stream at "
+                 "every thread count; speedup = wall(1 thread)/wall(t).");
+  table.print(std::cout);
+  return errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -180,10 +262,12 @@ int main(int argc, char** argv) try {
   util::BenchReport report("fig8_comparison");
   const int grid_rc = run_comparison_grid(report);
   const int backend_rc = run_backend_comparison(report, n, dims, queries);
+  const int sweep_rc = run_thread_sweep(report, n, dims, queries);
   if (report.ok()) {
     std::printf("\nrecorded -> %s\n", report.path().c_str());
   }
-  return grid_rc != 0 ? grid_rc : backend_rc;
+  if (grid_rc != 0) return grid_rc;
+  return backend_rc != 0 ? backend_rc : sweep_rc;
 } catch (const std::exception& ex) {
   std::fprintf(stderr, "error: %s\n", ex.what());
   return 1;

@@ -7,6 +7,7 @@
 //   apss_cli anml <file.anml> '<input text>'
 //       Load an ANML network, execute it, and print report events.
 //   apss_cli knn <d> <n> <k> [seed] [--backend=cycle|bit] [--packing=<g>]
+//            [--threads=<N>]
 //       Build a random n x d-bit dataset, compile it to Hamming/sorting
 //       macros, run one random query end to end, and print the neighbors
 //       plus the placement report — the whole paper pipeline in one shot.
@@ -15,8 +16,11 @@
 //       and prints the per-configuration compile outcome (per macro
 //       family) plus every fallback reason, so cycle-accurate fallbacks
 //       are visible. --packing=g builds the Sec. VI-A vector-packed
-//       design, g vectors per shared ladder.
+//       design, g vectors per shared ladder. --threads=N shards the
+//       compile and the search over N threads (0 = all hardware threads,
+//       the default; 1 = serial); any N returns bit-identical results.
 
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -79,12 +83,16 @@ int run_anml(const std::string& path, const std::string& text) {
 
 int run_knn(std::size_t dims, std::size_t n, std::size_t k,
             std::uint64_t seed, core::SimulationBackend backend,
-            std::size_t packing_group) {
+            std::size_t packing_group, std::size_t threads) {
   const auto data = knn::BinaryDataset::uniform(n, dims, seed);
   core::EngineOptions opt;
   opt.backend = backend;
   opt.packing_group_size = packing_group;
+  opt.threads = threads;
   core::ApKnnEngine engine(data, opt);
+  std::printf("threads: %zu simulation thread%s\n",
+              engine.simulation_threads(),
+              engine.simulation_threads() == 1 ? "" : "s");
   const auto placement = engine.placement(0);
   std::printf("compiled %zu vectors x %zu bits%s: %zu STEs, %zu blocks, "
               "%s routed\n",
@@ -124,7 +132,7 @@ void usage() {
                "  apss_cli pcre '<pattern>' '<text>'\n"
                "  apss_cli anml <file.anml> '<text>'\n"
                "  apss_cli knn <dims> <n> <k> [seed] [--backend=cycle|bit] "
-               "[--packing=<group>]\n");
+               "[--packing=<group>] [--threads=<N>]\n");
 }
 
 }  // namespace
@@ -144,6 +152,7 @@ int main(int argc, char** argv) {
       core::SimulationBackend backend =
           core::SimulationBackend::kCycleAccurate;
       std::size_t packing_group = 0;
+      std::size_t threads = 0;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--backend=", 0) == 0) {
@@ -174,6 +183,23 @@ int main(int argc, char** argv) {
             return 2;
           }
           packing_group = static_cast<std::size_t>(v);
+        } else if (arg.rfind("--threads=", 0) == 0) {
+          // 0 is legal here (= all hardware threads), so only reject
+          // non-numeric input.
+          const std::string value = arg.substr(10);
+          char* end = nullptr;
+          const unsigned long long v =
+              value.empty() || value[0] < '0' || value[0] > '9'
+                  ? ULLONG_MAX
+                  : std::strtoull(value.c_str(), &end, 10);
+          if (v == ULLONG_MAX || end == nullptr || *end != '\0') {
+            std::fprintf(stderr,
+                         "--threads needs a non-negative integer "
+                         "(0 = all hardware threads)\n");
+            usage();
+            return 2;
+          }
+          threads = static_cast<std::size_t>(v);
         } else if (arg.rfind("--", 0) == 0) {
           std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
           usage();
@@ -190,7 +216,7 @@ int main(int argc, char** argv) {
       const auto n = static_cast<std::size_t>(std::stoul(args[1]));
       const auto k = static_cast<std::size_t>(std::stoul(args[2]));
       const std::uint64_t seed = args.size() > 3 ? std::stoull(args[3]) : 1;
-      return run_knn(dims, n, k, seed, backend, packing_group);
+      return run_knn(dims, n, k, seed, backend, packing_group, threads);
     }
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error: %s\n", ex.what());

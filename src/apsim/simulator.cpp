@@ -12,6 +12,13 @@ using anml::Element;
 using anml::ElementId;
 using anml::ElementKind;
 
+void rebase_events(std::vector<ReportEvent>& events,
+                   std::uint64_t base_cycle) noexcept {
+  for (ReportEvent& event : events) {
+    event.cycle += base_cycle;
+  }
+}
+
 Simulator::Simulator(const anml::AutomataNetwork& network, SimOptions options)
     : network_(network), options_(options) {
   const auto problems = network.validate(options.allow_dynamic_threshold);

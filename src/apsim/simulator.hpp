@@ -48,6 +48,14 @@ struct ReportEvent {
   bool operator==(const ReportEvent&) const = default;
 };
 
+/// Shifts every event's cycle by `base_cycle`, in place. A shard that
+/// simulated frames starting `base_cycle` symbols into a configuration's
+/// full query stream rebases its buffer with this; rebased shard buffers
+/// concatenated in frame order are bit-identical to one continuous run
+/// (frames reset all automata state, so shard boundaries are invisible).
+void rebase_events(std::vector<ReportEvent>& events,
+                   std::uint64_t base_cycle) noexcept;
+
 /// Feature gates for a simulation run, derived from DeviceFeatures. The
 /// defaults model stock Gen-1 hardware.
 struct SimOptions {

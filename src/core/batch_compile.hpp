@@ -6,6 +6,11 @@
 // from the builder headers so macro construction does not drag in the
 // simulator headers.
 
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "apsim/batch_simulator.hpp"
 #include "core/hamming_macro.hpp"
 #include "core/opt/vector_packing.hpp"
@@ -29,6 +34,34 @@ inline apsim::PackedGroupSlots packed_batch_slots(
           layout.bridge,     layout.sort_state, layout.eof_state,
           layout.counters,   layout.reports, layout.collectors,
           layout.collector_levels};
+}
+
+/// try_compile over builder layouts for the plain/multiplexed shape: builds
+/// the slot views and hands them to the plain overload. Pure function of
+/// its arguments — safe to run concurrently over independent partitions
+/// (the engine compiles configuration shards on the thread pool).
+inline std::shared_ptr<const apsim::BatchProgram> compile_hamming_batch(
+    const anml::AutomataNetwork& network, std::span<const MacroLayout> layouts,
+    apsim::SimOptions options, std::string* reason = nullptr) {
+  std::vector<apsim::HammingMacroSlots> slots;
+  slots.reserve(layouts.size());
+  for (const MacroLayout& layout : layouts) {
+    slots.push_back(batch_slots(layout));
+  }
+  return apsim::BatchProgram::try_compile(network, slots, options, reason);
+}
+
+/// Same bridge for the vector-packed shape.
+inline std::shared_ptr<const apsim::BatchProgram> compile_packed_batch(
+    const anml::AutomataNetwork& network,
+    std::span<const PackedGroupLayout> layouts, apsim::SimOptions options,
+    std::string* reason = nullptr) {
+  std::vector<apsim::PackedGroupSlots> slots;
+  slots.reserve(layouts.size());
+  for (const PackedGroupLayout& layout : layouts) {
+    slots.push_back(packed_batch_slots(layout));
+  }
+  return apsim::BatchProgram::try_compile(network, slots, options, reason);
 }
 
 }  // namespace apss::core

@@ -13,6 +13,18 @@ ApKnnEngine::ApKnnEngine(knn::BinaryDataset dataset, EngineOptions options)
   if (dataset_.empty()) {
     throw std::invalid_argument("ApKnnEngine: empty dataset");
   }
+  // Resolve the worker pool once: an explicit pool wins; otherwise
+  // `threads` picks serial (1), the shared process-wide pool (0), or a
+  // private pool sized so that N threads total run this engine's shards
+  // (N-1 workers — the submitting thread participates in every job).
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+  } else if (options_.threads == 0) {
+    pool_ = &util::ThreadPool::global();
+  } else if (options_.threads > 1) {
+    owned_pool_ = std::make_unique<util::ThreadPool>(options_.threads - 1);
+    pool_ = owned_pool_.get();
+  }
   const std::size_t dims = dataset_.dims();
   const bool packed = options_.packing_group_size > 0;
   VectorPackingOptions pack_opt;
@@ -60,23 +72,27 @@ ApKnnEngine::ApKnnEngine(knn::BinaryDataset dataset, EngineOptions options)
   // Compile one automata network per board configuration. When the
   // bit-parallel backend is requested, each configuration is additionally
   // compiled into a packed BatchProgram; failures leave `program` null and
-  // that configuration runs on the cycle-accurate simulator.
+  // that configuration runs on the cycle-accurate simulator. Partitions are
+  // independent, so configuration shards compile on the worker pool; each
+  // shard records its own decline reason and the reduce below walks shards
+  // in configuration order, so the aggregated stats are identical at any
+  // thread count (no shared counter mutation).
   const apsim::SimOptions sim_options =
       apsim::SimOptions::from(options_.device.features);
-  std::string decline_reason;
-  for (std::size_t begin = 0; begin < dataset_.size(); begin += capacity_) {
-    const std::size_t count = std::min(capacity_, dataset_.size() - begin);
-    Partition p;
-    p.begin = begin;
-    p.count = count;
+  partitions_.resize((dataset_.size() + capacity_ - 1) / capacity_);
+  std::vector<std::string> decline_reasons(partitions_.size());
+  const auto build_partition = [&](std::size_t c) {
+    Partition& p = partitions_[c];
+    p.begin = c * capacity_;
+    p.count = std::min(capacity_, dataset_.size() - p.begin);
     p.network = std::make_unique<anml::AutomataNetwork>(
-        "config" + std::to_string(partitions_.size()));
+        "config" + std::to_string(c));
     if (packed) {
       std::vector<PackedGroupLayout> layouts;
-      for (std::size_t gb = begin; gb < begin + count;
+      for (std::size_t gb = p.begin; gb < p.begin + p.count;
            gb += pack_opt.group_size) {
         const std::size_t gcount =
-            std::min(pack_opt.group_size, begin + count - gb);
+            std::min(pack_opt.group_size, p.begin + p.count - gb);
         layouts.push_back(
             append_packed_group(*p.network, dataset_, gb, gcount, pack_opt));
         if (layouts.back().collector_levels != spec_.collector_levels) {
@@ -84,41 +100,40 @@ ApKnnEngine::ApKnnEngine(knn::BinaryDataset dataset, EngineOptions options)
         }
       }
       if (options_.backend == SimulationBackend::kBitParallel) {
-        std::vector<apsim::PackedGroupSlots> slots;
-        slots.reserve(layouts.size());
-        for (const PackedGroupLayout& layout : layouts) {
-          slots.push_back(packed_batch_slots(layout));
-        }
-        p.program = apsim::BatchProgram::try_compile(*p.network, slots,
-                                                     sim_options,
-                                                     &decline_reason);
+        p.program = compile_packed_batch(*p.network, layouts, sim_options,
+                                         &decline_reasons[c]);
       }
     } else {
       std::vector<MacroLayout> layouts;
-      layouts.reserve(count);
-      for (std::size_t i = 0; i < count; ++i) {
+      layouts.reserve(p.count);
+      for (std::size_t i = 0; i < p.count; ++i) {
         layouts.push_back(append_hamming_macro(
-            *p.network, dataset_.vector(begin + i),
-            static_cast<std::uint32_t>(begin + i), options_.macro));
+            *p.network, dataset_.vector(p.begin + i),
+            static_cast<std::uint32_t>(p.begin + i), options_.macro));
         if (layouts.back().collector_levels != spec_.collector_levels) {
           throw std::logic_error("ApKnnEngine: inconsistent collector depth");
         }
       }
       if (options_.backend == SimulationBackend::kBitParallel) {
-        std::vector<apsim::HammingMacroSlots> slots;
-        slots.reserve(count);
-        for (const MacroLayout& layout : layouts) {
-          slots.push_back(batch_slots(layout));
-        }
-        p.program = apsim::BatchProgram::try_compile(*p.network, slots,
-                                                     sim_options,
-                                                     &decline_reason);
+        p.program = compile_hamming_batch(*p.network, layouts, sim_options,
+                                          &decline_reasons[c]);
       }
     }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(0, partitions_.size(), build_partition, /*grain=*/1);
+  } else {
+    for (std::size_t c = 0; c < partitions_.size(); ++c) {
+      build_partition(c);
+    }
+  }
 
-    // Backend/fallback bookkeeping (EngineStats::backend): count the fast
-    // path per macro family; aggregate decline reasons so no configuration
-    // falls back to the cycle-accurate simulator silently.
+  // Backend/fallback bookkeeping (EngineStats::backend): count the fast
+  // path per macro family; aggregate decline reasons so no configuration
+  // falls back to the cycle-accurate simulator silently. Reasons appear in
+  // first-occurrence configuration order.
+  for (std::size_t c = 0; c < partitions_.size(); ++c) {
+    const Partition& p = partitions_[c];
     ++compile_stats_.configurations;
     if (p.program != nullptr) {
       ++compile_stats_.bit_parallel;
@@ -134,14 +149,13 @@ ApKnnEngine::ApKnnEngine(knn::BinaryDataset dataset, EngineOptions options)
       auto& reasons = compile_stats_.fallback_reasons;
       const auto it = std::find_if(
           reasons.begin(), reasons.end(),
-          [&](const auto& entry) { return entry.first == decline_reason; });
+          [&](const auto& entry) { return entry.first == decline_reasons[c]; });
       if (it != reasons.end()) {
         ++it->second;
       } else {
-        reasons.emplace_back(decline_reason, 1);
+        reasons.emplace_back(decline_reasons[c], 1);
       }
     }
-    partitions_.push_back(std::move(p));
   }
 }
 
@@ -189,63 +203,101 @@ std::vector<std::vector<knn::Neighbor>> ApKnnEngine::search(
   }
   const std::size_t q = queries.size();
   stats_ = project(q);
+  report_stream_.clear();
 
-  // One task per (configuration, query chunk); each task owns a simulator
-  // instance so tasks are embarrassingly parallel.
-  const std::size_t chunk = std::max<std::size_t>(1, options_.queries_per_chunk);
-  struct Task {
+  // One shard per (configuration, query-frame range). queries_per_chunk
+  // caps the shard size; with a pool the size is refined downward so every
+  // thread gets several shards to balance. The shard list itself — and
+  // therefore every shard's simulation — is a pure function of the inputs,
+  // never of which worker ran it.
+  std::size_t chunk = std::max<std::size_t>(1, options_.queries_per_chunk);
+  if (pool_ != nullptr) {
+    const std::size_t target_shards = 4 * (pool_->size() + 1);
+    const std::size_t total_frames = q * partitions_.size();
+    chunk = std::min(
+        chunk,
+        std::max<std::size_t>(
+            1, (total_frames + target_shards - 1) / target_shards));
+  }
+  struct Shard {
     std::size_t config = 0;
     std::size_t q_begin = 0;
     std::size_t q_count = 0;
+    /// Shard-local ReportEvent buffer, rebased to the configuration's full
+    /// query-stream timeline after decoding.
+    std::vector<apsim::ReportEvent> events;
     std::vector<std::vector<knn::Neighbor>> partial;
-    std::size_t report_events = 0;
   };
-  std::vector<Task> tasks;
+  std::vector<Shard> shards;
   for (std::size_t c = 0; c < partitions_.size(); ++c) {
     for (std::size_t q_begin = 0; q_begin < q; q_begin += chunk) {
-      tasks.push_back({c, q_begin, std::min(chunk, q - q_begin), {}, 0});
+      shards.push_back({c, q_begin, std::min(chunk, q - q_begin), {}, {}});
     }
   }
 
   const SymbolStreamEncoder encoder(spec_);
-  const auto run_task = [&](std::size_t t) {
-    Task& task = tasks[t];
-    const Partition& part = partitions_[task.config];
+  const apsim::SimOptions sim_options =
+      apsim::SimOptions::from(options_.device.features);
+  // Each worker owns its simulator scratch state and reuses it across the
+  // consecutive shards of its chunk while they stay on one configuration —
+  // the cycle-accurate simulator's construction (a full validation pass)
+  // then amortizes over the chunk. run() resets per shard, so reuse cannot
+  // leak state between shards.
+  const auto run_shards = [&](std::size_t lo, std::size_t hi) {
+    constexpr std::size_t kNoConfig = static_cast<std::size_t>(-1);
+    std::size_t sim_config = kNoConfig;
+    std::unique_ptr<apsim::Simulator> reference;
+    std::unique_ptr<apsim::BatchSimulator> batch;
     std::vector<std::uint8_t> stream;
-    stream.reserve(task.q_count * spec_.cycles_per_query());
-    for (std::size_t i = 0; i < task.q_count; ++i) {
-      encoder.append_query(queries.row(task.q_begin + i), stream);
+    for (std::size_t t = lo; t < hi; ++t) {
+      Shard& shard = shards[t];
+      const Partition& part = partitions_[shard.config];
+      if (shard.config != sim_config) {
+        reference.reset();
+        batch.reset();
+        if (part.program != nullptr) {
+          batch = std::make_unique<apsim::BatchSimulator>(part.program);
+        } else {
+          reference = std::make_unique<apsim::Simulator>(*part.network,
+                                                         sim_options);
+        }
+        sim_config = shard.config;
+      }
+      stream.clear();
+      stream.reserve(shard.q_count * spec_.cycles_per_query());
+      for (std::size_t i = 0; i < shard.q_count; ++i) {
+        encoder.append_query(queries.row(shard.q_begin + i), stream);
+      }
+      shard.events =
+          batch != nullptr ? batch->run(stream) : reference->run(stream);
+      const TemporalSortDecoder decoder(spec_, shard.q_count);
+      shard.partial = decoder.decode(shard.events, k);
+      apsim::rebase_events(shard.events,
+                           shard.q_begin * spec_.cycles_per_query());
     }
-    std::vector<apsim::ReportEvent> events;
-    if (part.program != nullptr) {
-      apsim::BatchSimulator sim(part.program);
-      events = sim.run(stream);
-    } else {
-      apsim::Simulator sim(*part.network,
-                           apsim::SimOptions::from(options_.device.features));
-      events = sim.run(stream);
-    }
-    task.report_events = events.size();
-    const TemporalSortDecoder decoder(spec_, task.q_count);
-    task.partial = decoder.decode(events, k);
   };
 
-  if (options_.pool != nullptr) {
-    options_.pool->parallel_for(0, tasks.size(), run_task, /*grain=*/1);
+  if (pool_ != nullptr) {
+    pool_->parallel_for_chunks(0, shards.size(), run_shards, /*grain=*/1);
   } else {
-    for (std::size_t t = 0; t < tasks.size(); ++t) {
-      run_task(t);
-    }
+    run_shards(0, shards.size());
   }
 
   // Host-side merge across configurations (Sec. III-C: the host tracks
-  // intermediary per-query results between reconfigurations).
+  // intermediary per-query results between reconfigurations). Shards are
+  // walked in configuration/frame order on this thread, so stats
+  // accumulation, the merged report stream, and the per-query lists are
+  // bit-identical at any thread count.
   std::vector<std::vector<knn::Neighbor>> results(q);
-  for (const Task& task : tasks) {
-    stats_.report_events += task.report_events;
-    for (std::size_t i = 0; i < task.q_count; ++i) {
-      auto& dst = results[task.q_begin + i];
-      dst.insert(dst.end(), task.partial[i].begin(), task.partial[i].end());
+  for (Shard& shard : shards) {
+    stats_.report_events += shard.events.size();
+    if (options_.collect_report_stream) {
+      report_stream_.insert(report_stream_.end(), shard.events.begin(),
+                            shard.events.end());
+    }
+    for (std::size_t i = 0; i < shard.q_count; ++i) {
+      auto& dst = results[shard.q_begin + i];
+      dst.insert(dst.end(), shard.partial[i].begin(), shard.partial[i].end());
     }
   }
   const std::size_t want = std::min(k, dataset_.size());

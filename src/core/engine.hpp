@@ -72,10 +72,24 @@ struct EngineOptions {
   /// Overrides the placement-derived capacity when nonzero (tests use this
   /// to force multi-configuration runs on small datasets).
   std::size_t max_vectors_per_config = 0;
-  /// Worker pool for parallel simulation (nullptr = serial).
+  /// Worker pool for parallel compile + simulation. When null, the engine
+  /// derives one from `threads` below.
   util::ThreadPool* pool = nullptr;
-  /// Queries per simulator instance when parallelizing a batch.
+  /// Concurrency when `pool` is null: 0 (default) shares the process-wide
+  /// pool (hardware concurrency), 1 runs fully serial, N >= 2 gives the
+  /// engine a private pool so that N threads total (N-1 workers plus the
+  /// submitting thread) run its shards. Surfaced as `apss_cli --threads=N`.
+  /// Any setting yields bit-identical results: shards are merged in
+  /// configuration/frame order, never completion order.
+  std::size_t threads = 0;
+  /// Upper bound on query frames per simulation shard; the engine refines
+  /// the shard size downward so every thread gets several shards.
   std::size_t queries_per_chunk = 64;
+  /// Retain the merged ReportEvent stream of the last search() — shard
+  /// buffers rebased to each configuration's full query-stream timeline and
+  /// concatenated in configuration/frame order (last_report_stream()).
+  /// Off by default: the raw stream can dwarf the decoded results.
+  bool collect_report_stream = false;
   /// Simulation backend (default: the cycle-accurate reference).
   SimulationBackend backend = SimulationBackend::kCycleAccurate;
   /// When > 0, each configuration is built with the Sec. VI-A
@@ -142,6 +156,19 @@ class ApKnnEngine {
 
   const EngineStats& last_stats() const noexcept { return stats_; }
 
+  /// Merged ReportEvent stream of the last search() when
+  /// EngineOptions::collect_report_stream is set (empty otherwise). The
+  /// stream is bit-identical at any thread count — the differential
+  /// contract the thread-sweep tests assert.
+  const std::vector<apsim::ReportEvent>& last_report_stream() const noexcept {
+    return report_stream_;
+  }
+
+  /// Threads search()/compile run on: pool workers + the submitting thread.
+  std::size_t simulation_threads() const noexcept {
+    return pool_ == nullptr ? 1 : pool_->size() + 1;
+  }
+
   std::size_t configurations() const noexcept { return partitions_.size(); }
   std::size_t capacity_per_config() const noexcept { return capacity_; }
   const StreamSpec& stream_spec() const noexcept { return spec_; }
@@ -189,6 +216,11 @@ class ApKnnEngine {
   std::vector<Partition> partitions_;
   BackendCompileStats compile_stats_;
   EngineStats stats_;
+  /// Resolved worker pool (options_.pool, the global pool, or owned_pool_;
+  /// nullptr = serial) — see EngineOptions::threads.
+  util::ThreadPool* pool_ = nullptr;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  std::vector<apsim::ReportEvent> report_stream_;
 };
 
 }  // namespace apss::core

@@ -86,18 +86,13 @@ MultiplexedKnn::MultiplexedKnn(knn::BinaryDataset data, std::size_t slices,
   const auto layouts =
       build_multiplexed_network(network_, data_, slices_, options);
   if (backend == SimulationBackend::kBitParallel) {
-    std::vector<apsim::HammingMacroSlots> slots;
-    slots.reserve(layouts.size());
-    for (const MacroLayout& layout : layouts) {
-      slots.push_back(batch_slots(layout));
-    }
-    program_ =
-        apsim::BatchProgram::try_compile(network_, slots, {}, &fallback_reason_);
+    program_ = compile_hamming_batch(network_, layouts, {}, &fallback_reason_);
   }
 }
 
 std::vector<std::vector<knn::Neighbor>> MultiplexedKnn::search(
-    const knn::BinaryDataset& queries, std::size_t k) const {
+    const knn::BinaryDataset& queries, std::size_t k, util::ThreadPool* pool,
+    std::vector<apsim::ReportEvent>* merged_events) const {
   if (queries.dims() != data_.dims()) {
     throw std::invalid_argument("MultiplexedKnn::search: dims mismatch");
   }
@@ -105,26 +100,52 @@ std::vector<std::vector<knn::Neighbor>> MultiplexedKnn::search(
     throw std::invalid_argument("MultiplexedKnn::search: k must be >= 1");
   }
   const MultiplexedStreamEncoder encoder(spec_);
-  // One simulator on whichever backend compiled (constructing the unused
-  // reference would pay a full validation pass over the 7x-replicated
-  // network); frames reset the state, so run() per frame matches a fresh
+  const std::size_t frames = frames_for(queries.size());
+
+  // Frames reset the automata, so they simulate independently: per-frame
+  // ReportEvent buffers, filled serially or by frame-range shards on the
+  // pool. One simulator per shard on whichever backend compiled
+  // (constructing the unused reference would pay a full validation pass
+  // over the 7x-replicated network); run() per frame matches a fresh
   // simulator per frame.
-  std::unique_ptr<apsim::Simulator> reference;
-  std::unique_ptr<apsim::BatchSimulator> batch;
-  if (program_ != nullptr) {
-    batch = std::make_unique<apsim::BatchSimulator>(program_);
+  std::vector<std::vector<apsim::ReportEvent>> frame_events(frames);
+  const auto run_frames = [&](std::size_t lo, std::size_t hi) {
+    std::unique_ptr<apsim::Simulator> reference;
+    std::unique_ptr<apsim::BatchSimulator> batch;
+    if (program_ != nullptr) {
+      batch = std::make_unique<apsim::BatchSimulator>(program_);
+    } else {
+      reference = std::make_unique<apsim::Simulator>(network_);
+    }
+    for (std::size_t f = lo; f < hi; ++f) {
+      const std::size_t begin = f * slices_;
+      const std::size_t count = std::min(slices_, queries.size() - begin);
+      const auto frame = encoder.encode_group(queries, begin, count);
+      frame_events[f] =
+          batch != nullptr ? batch->run(frame) : reference->run(frame);
+    }
+  };
+  if (pool != nullptr && frames > 1) {
+    // Few large shards: the per-shard simulator amortizes over many frames.
+    const std::size_t runners = pool->size() + 1;
+    const std::size_t grain =
+        std::max<std::size_t>(1, (frames + 2 * runners - 1) / (2 * runners));
+    pool->parallel_for_chunks(0, frames, run_frames, grain);
   } else {
-    reference = std::make_unique<apsim::Simulator>(network_);
+    run_frames(0, frames);
+  }
+
+  // Merge in frame order on this thread — bit-identical demux and event
+  // stream at any thread count.
+  if (merged_events != nullptr) {
+    merged_events->clear();
   }
   std::vector<std::vector<knn::Neighbor>> results(queries.size());
-
-  for (std::size_t begin = 0; begin < queries.size(); begin += slices_) {
+  for (std::size_t f = 0; f < frames; ++f) {
+    const std::size_t begin = f * slices_;
     const std::size_t count = std::min(slices_, queries.size() - begin);
-    const auto frame = encoder.encode_group(queries, begin, count);
-    const auto events =
-        batch != nullptr ? batch->run(frame) : reference->run(frame);
     // Demux: slice s belongs to query begin+s.
-    for (const apsim::ReportEvent& event : events) {
+    for (const apsim::ReportEvent& event : frame_events[f]) {
       const std::size_t slice = MuxReportCode::slice(event.report_code);
       if (slice >= count) {
         continue;  // macros of unused slices observe stale bit 0 values
@@ -135,6 +156,11 @@ std::vector<std::vector<knn::Neighbor>> MultiplexedKnn::search(
         list.push_back({MuxReportCode::vector_id(event.report_code),
                         static_cast<std::uint32_t>(distance)});
       }
+    }
+    if (merged_events != nullptr) {
+      apsim::rebase_events(frame_events[f], f * spec_.cycles_per_query());
+      merged_events->insert(merged_events->end(), frame_events[f].begin(),
+                            frame_events[f].end());
     }
   }
   const std::size_t want = std::min(k, data_.size());

@@ -80,8 +80,18 @@ class MultiplexedKnn {
 
   /// Exact kNN for all rows of `queries`, `slices` queries per frame.
   /// Returns ascending-distance neighbor lists of dataset vector ids.
+  ///
+  /// Frames are independent (every frame resets the automata), so with a
+  /// `pool` they run as frame-range shards across the workers, each shard
+  /// owning its own simulator scratch; shard buffers merge in frame order,
+  /// so results are bit-identical at any thread count. When
+  /// `merged_events` is non-null it receives the merged ReportEvent
+  /// stream, rebased to the full query-stream timeline — the same
+  /// differential contract as ApKnnEngine::last_report_stream().
   std::vector<std::vector<knn::Neighbor>> search(
-      const knn::BinaryDataset& queries, std::size_t k) const;
+      const knn::BinaryDataset& queries, std::size_t k,
+      util::ThreadPool* pool = nullptr,
+      std::vector<apsim::ReportEvent>* merged_events = nullptr) const;
 
   const anml::AutomataNetwork& network() const noexcept { return network_; }
   std::size_t slices() const noexcept { return slices_; }

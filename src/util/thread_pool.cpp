@@ -30,6 +30,17 @@ namespace {
 // job body; nested parallel_for calls then degrade to serial execution
 // instead of deadlocking.
 thread_local bool t_inside_pool_job = false;
+
+// RAII so the flag survives a throwing job body: a plain assignment after
+// the loop would leave it stuck true and silently serialize every later
+// parallel_for on that thread.
+struct InsideJobGuard {
+  bool prev;
+  InsideJobGuard() : prev(t_inside_pool_job) { t_inside_pool_job = true; }
+  ~InsideJobGuard() { t_inside_pool_job = prev; }
+  InsideJobGuard(const InsideJobGuard&) = delete;
+  InsideJobGuard& operator=(const InsideJobGuard&) = delete;
+};
 }  // namespace
 
 void ThreadPool::worker_loop() {
@@ -58,17 +69,24 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::run_job(Job& job) {
-  t_inside_pool_job = true;
+  InsideJobGuard guard;
   const std::size_t grain = std::max<std::size_t>(1, job.grain);
-  for (;;) {
+  while (!job.failed.load(std::memory_order_acquire)) {
     const std::size_t start = job.cursor.fetch_add(grain);
     if (start >= job.end) {
       break;
     }
     const std::size_t stop = std::min(job.end, start + grain);
-    (*job.body)(start, stop);
+    try {
+      (*job.body)(start, stop);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (job.exception == nullptr) {
+        job.exception = std::current_exception();
+      }
+      job.failed.store(true, std::memory_order_release);
+    }
   }
-  t_inside_pool_job = false;
 }
 
 void ThreadPool::parallel_for_chunks(
@@ -105,6 +123,11 @@ void ThreadPool::parallel_for_chunks(
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [&] { return job.remaining_workers.load() == 0; });
   current_job_ = nullptr;
+  if (job.exception != nullptr) {
+    std::exception_ptr ex = job.exception;
+    lock.unlock();
+    std::rethrow_exception(ex);
+  }
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,

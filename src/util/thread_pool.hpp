@@ -10,6 +10,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -31,13 +32,18 @@ class ThreadPool {
   /// Runs fn(i) for i in [begin, end). Blocks until all iterations finish.
   /// Iterations are claimed in chunks of `grain` via an atomic cursor, so
   /// irregular per-iteration cost still load-balances.
+  ///
+  /// If a body throws, the FIRST exception (in claim order) is captured,
+  /// remaining unclaimed chunks are abandoned, and the exception is
+  /// rethrown here — on the submitting thread — once every worker has
+  /// drained out of the job. Chunks already running elsewhere still finish.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 1);
 
   /// Runs fn(chunk_begin, chunk_end) over disjoint chunks covering
   /// [begin, end). Useful when per-chunk setup (e.g. a scratch buffer)
-  /// should be amortized.
+  /// should be amortized. Same exception contract as parallel_for.
   void parallel_for_chunks(
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t)>& fn,
@@ -53,6 +59,10 @@ class ThreadPool {
     std::size_t grain = 1;
     const std::function<void(std::size_t, std::size_t)>* body = nullptr;
     std::atomic<std::size_t> remaining_workers{0};
+    /// First exception thrown by a body (claim order); guarded by the
+    /// pool mutex, rethrown on the submitting thread after the drain.
+    std::atomic<bool> failed{false};
+    std::exception_ptr exception;
   };
 
   void worker_loop();

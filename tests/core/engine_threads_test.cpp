@@ -1,0 +1,152 @@
+// Configuration-shard scale-out differential tests: ApKnnEngine and
+// MultiplexedKnn must produce bit-identical neighbor lists, EngineStats,
+// AND merged ReportEvent streams at every thread count — the merge walks
+// shards in configuration/frame order, never completion order, so thread
+// scheduling can never show through. These run under TSan in CI
+// (APSS_SANITIZE=thread) to also prove the sharding is race-free.
+
+#include <gtest/gtest.h>
+
+#include "apss_test_support.hpp"
+#include "core/engine.hpp"
+#include "core/opt/stream_multiplexing.hpp"
+#include "util/thread_pool.hpp"
+
+namespace apss::core {
+namespace {
+
+struct SearchRun {
+  std::vector<std::vector<knn::Neighbor>> results;
+  std::vector<apsim::ReportEvent> stream;
+  EngineStats stats;
+  BackendCompileStats compile;
+};
+
+SearchRun run_engine(const knn::BinaryDataset& data,
+               const knn::BinaryDataset& queries, std::size_t k,
+               EngineOptions opt, std::size_t threads) {
+  opt.threads = threads;
+  opt.collect_report_stream = true;
+  ApKnnEngine engine(data, opt);
+  SearchRun r;
+  r.results = engine.search(queries, k);
+  r.stream = engine.last_report_stream();
+  r.stats = engine.last_stats();
+  r.compile = engine.backend_stats();
+  return r;
+}
+
+void expect_thread_invariant(const knn::BinaryDataset& data,
+                             const knn::BinaryDataset& queries, std::size_t k,
+                             EngineOptions opt, const std::string& context) {
+  const SearchRun reference = run_engine(data, queries, k, opt, 1);
+  EXPECT_FALSE(reference.stream.empty()) << context;
+  for (const std::size_t threads : {2, 8}) {
+    const SearchRun run = run_engine(data, queries, k, opt, threads);
+    const std::string ctx = context + " threads=" + std::to_string(threads);
+    EXPECT_EQ(run.results, reference.results) << ctx;
+    EXPECT_EQ(run.stream, reference.stream) << ctx;
+    EXPECT_EQ(run.stats, reference.stats) << ctx;
+    EXPECT_EQ(run.compile, reference.compile) << ctx;
+  }
+  test::expect_valid_knn_results(data, queries, k, reference.results, context);
+}
+
+TEST(EngineThreads, BitParallelStreamIdenticalAcrossThreadCounts) {
+  const auto data = knn::BinaryDataset::uniform(41, 24, 601);
+  const auto queries = knn::BinaryDataset::uniform(9, 24, 602);
+  EngineOptions opt;
+  opt.backend = SimulationBackend::kBitParallel;
+  opt.max_vectors_per_config = 7;  // 6 configurations
+  opt.queries_per_chunk = 2;       // many (config, frame) shards
+  expect_thread_invariant(data, queries, 4, opt, "bit-parallel");
+}
+
+TEST(EngineThreads, CycleAccurateStreamIdenticalAcrossThreadCounts) {
+  const auto data = knn::BinaryDataset::uniform(23, 16, 603);
+  const auto queries = knn::BinaryDataset::uniform(6, 16, 604);
+  EngineOptions opt;
+  opt.backend = SimulationBackend::kCycleAccurate;
+  opt.max_vectors_per_config = 5;
+  opt.queries_per_chunk = 2;
+  expect_thread_invariant(data, queries, 3, opt, "cycle-accurate");
+}
+
+TEST(EngineThreads, PackedConfigurationsIdenticalAcrossThreadCounts) {
+  const auto data = knn::BinaryDataset::uniform(26, 24, 605);
+  const auto queries = knn::BinaryDataset::uniform(5, 24, 606);
+  EngineOptions opt;
+  opt.backend = SimulationBackend::kBitParallel;
+  opt.packing_group_size = 4;
+  opt.max_vectors_per_config = 9;
+  opt.queries_per_chunk = 2;
+  expect_thread_invariant(data, queries, 4, opt, "packed");
+}
+
+TEST(EngineThreads, FallbackStatsIdenticalAcrossThreadCounts) {
+  // Opt+Ext pushes every configuration off the fast path: the per-shard
+  // decline reasons must reduce to the same ordered fallback_reasons no
+  // matter which worker compiled which configuration.
+  const auto data = knn::BinaryDataset::uniform(18, 16, 607);
+  const auto queries = knn::BinaryDataset::uniform(4, 16, 608);
+  EngineOptions opt;
+  opt.backend = SimulationBackend::kBitParallel;
+  opt.device = apsim::DeviceConfig::opt_ext();
+  opt.max_vectors_per_config = 4;  // 5 configurations, all declining
+  const SearchRun reference = run_engine(data, queries, 3, opt, 1);
+  ASSERT_EQ(reference.compile.fallback, 5u);
+  ASSERT_EQ(reference.compile.fallback_reasons.size(), 1u);
+  for (const std::size_t threads : {2, 8}) {
+    const SearchRun run = run_engine(data, queries, 3, opt, threads);
+    EXPECT_EQ(run.compile, reference.compile) << "threads=" << threads;
+    EXPECT_EQ(run.results, reference.results) << "threads=" << threads;
+  }
+}
+
+TEST(EngineThreads, ExplicitPoolStillWins) {
+  const auto data = knn::BinaryDataset::uniform(19, 16, 609);
+  const auto queries = knn::BinaryDataset::uniform(5, 16, 610);
+  util::ThreadPool pool(3);
+  EngineOptions opt;
+  opt.backend = SimulationBackend::kBitParallel;
+  opt.pool = &pool;
+  opt.threads = 1;  // ignored: an explicit pool takes precedence
+  opt.max_vectors_per_config = 6;
+  ApKnnEngine engine(data, opt);
+  EXPECT_EQ(engine.simulation_threads(), 4u);
+  const auto results = engine.search(queries, 3);
+  test::expect_valid_knn_results(data, queries, 3, results);
+}
+
+TEST(EngineThreads, SerialEngineReportsOneThread) {
+  const auto data = knn::BinaryDataset::uniform(8, 16, 611);
+  EngineOptions opt;
+  opt.threads = 1;
+  ApKnnEngine engine(data, opt);
+  EXPECT_EQ(engine.simulation_threads(), 1u);
+}
+
+TEST(EngineThreads, MultiplexedSearchIdenticalAcrossThreadCounts) {
+  const auto data = knn::BinaryDataset::uniform(31, 16, 612);
+  const auto queries = knn::BinaryDataset::uniform(26, 16, 613);  // 4 frames
+  for (const auto backend : {SimulationBackend::kCycleAccurate,
+                             SimulationBackend::kBitParallel}) {
+    const MultiplexedKnn mux(data, 7, {}, backend);
+    if (backend == SimulationBackend::kBitParallel) {
+      ASSERT_TRUE(mux.bit_parallel()) << mux.fallback_reason();
+    }
+    std::vector<apsim::ReportEvent> serial_stream;
+    const auto serial = mux.search(queries, 5, nullptr, &serial_stream);
+    EXPECT_FALSE(serial_stream.empty());
+    for (const std::size_t threads : {2, 8}) {
+      util::ThreadPool pool(threads);
+      std::vector<apsim::ReportEvent> pooled_stream;
+      const auto pooled = mux.search(queries, 5, &pool, &pooled_stream);
+      EXPECT_EQ(pooled, serial) << "threads=" << threads;
+      EXPECT_EQ(pooled_stream, serial_stream) << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace apss::core

@@ -3,7 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace apss::util {
@@ -84,6 +89,128 @@ TEST(ThreadPool, GlobalPoolIsUsable) {
   std::atomic<int> count{0};
   ThreadPool::global().parallel_for(0, 10, [&](std::size_t) { ++count; });
   EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, SingleElementRange) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::size_t seen = 99;
+  pool.parallel_for(7, 8, [&](std::size_t i) {
+    ++count;
+    seen = i;
+  });
+  EXPECT_EQ(count.load(), 1);
+  EXPECT_EQ(seen, 7u);
+}
+
+TEST(ThreadPool, GrainLargerThanRangeRunsInline) {
+  ThreadPool pool(3);
+  const auto caller = std::this_thread::get_id();
+  std::size_t calls = 0;
+  pool.parallel_for_chunks(
+      0, 10,
+      [&](std::size_t lo, std::size_t hi) {
+        // One chunk, on the submitting thread (the small-range fast path).
+        EXPECT_EQ(lo, 0u);
+        EXPECT_EQ(hi, 10u);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        ++calls;
+      },
+      /*grain=*/100);
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPool, OneThreadPoolCoversRange) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<std::atomic<int>> hits(500);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ExceptionRethrownOnSubmittingThread) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000,
+                        [&](std::size_t i) {
+                          if (i == 333) {
+                            throw std::runtime_error("boom");
+                          }
+                        }),
+      std::runtime_error);
+  // The pool must stay usable: the job drained, no worker died.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ExceptionInChunkedBodyAbandonsRemainingChunks) {
+  ThreadPool pool(2);
+  std::atomic<int> chunks_run{0};
+  try {
+    pool.parallel_for_chunks(
+        0, 1 << 20,
+        [&](std::size_t lo, std::size_t) {
+          ++chunks_run;
+          if (lo == 0) {
+            throw std::invalid_argument("first chunk fails");
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        },
+        /*grain=*/64);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& ex) {
+    EXPECT_STREQ(ex.what(), "first chunk fails");
+  }
+  // Unclaimed chunks are abandoned once the failure is recorded: far fewer
+  // bodies ran than the 16384 chunks the range holds.
+  EXPECT_LT(chunks_run.load(), 1 << 14);
+}
+
+TEST(ThreadPool, ThrowingBodyDoesNotSerializeLaterJobs) {
+  // Regression: run_job used to reset its inside-a-job flag with a plain
+  // assignment, so a throwing body left it stuck and every later
+  // parallel_for on that thread silently degraded to serial execution.
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   0, 64,
+                   [&](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+
+  std::mutex mu;
+  std::set<std::thread::id> threads_seen;
+  pool.parallel_for(0, 64, [&](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard<std::mutex> lock(mu);
+    threads_seen.insert(std::this_thread::get_id());
+  });
+  // With the flag stuck, every iteration would run on the submitting
+  // thread; 4 idle workers and 64 x 1ms bodies make >= 2 threads certain.
+  EXPECT_GE(threads_seen.size(), 2u);
+}
+
+TEST(ThreadPool, ExceptionFromSubmitterParticipationPropagates) {
+  // The submitting thread participates in its own job; a throw in the
+  // chunk it claims must follow the same capture-and-rethrow path.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for_chunks(
+                   0, 4,
+                   [&](std::size_t, std::size_t) {
+                     ++ran;
+                     throw std::logic_error("either thread");
+                   },
+                   /*grain=*/1),
+               std::logic_error);
+  EXPECT_GE(ran.load(), 1);
+  // Nested degradation still works afterwards (flag restored everywhere).
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&](std::size_t) { ++count; });
+  });
+  EXPECT_EQ(count.load(), 32);
 }
 
 }  // namespace
