@@ -7,7 +7,8 @@
 //   apss_cli anml <file.anml> '<input text>'
 //       Load an ANML network, execute it, and print report events.
 //   apss_cli knn <d> <n> <k> [seed] [--backend=cycle|bit] [--packing=<g>]
-//            [--threads=<N>]
+//            [--threads=<N>] [--artifact-cache=<dir>]
+//            [--save-artifact=<path>] [--load-artifact=<path>]
 //       Build a random n x d-bit dataset, compile it to Hamming/sorting
 //       macros, run one random query end to end, and print the neighbors
 //       plus the placement report — the whole paper pipeline in one shot.
@@ -19,6 +20,13 @@
 //       design, g vectors per shared ladder. --threads=N shards the
 //       compile and the search over N threads (0 = all hardware threads,
 //       the default; 1 = serial); any N returns bit-identical results.
+//       The artifact flags need --backend=bit (docs/ARTIFACTS.md):
+//       --artifact-cache=dir compiles through the on-disk compile cache
+//       and prints its hit/miss/invalidation counters;
+//       --save-artifact=path writes configuration 0's compiled program as
+//       a versioned artifact; --load-artifact=path loads an artifact,
+//       prints its provenance, and cross-checks it bit-for-bit against
+//       the freshly compiled configuration 0.
 
 #include <climits>
 #include <cstdio>
@@ -32,8 +40,10 @@
 
 #include "anml/anml_io.hpp"
 #include "anml/pcre.hpp"
+#include "apsim/batch_simulator.hpp"
 #include "apsim/placement.hpp"
 #include "apsim/simulator.hpp"
+#include "artifact/artifact.hpp"
 #include "core/engine.hpp"
 #include "util/rng.hpp"
 
@@ -81,14 +91,27 @@ int run_anml(const std::string& path, const std::string& text) {
   return 0;
 }
 
+/// Artifact-related knn flags (all need --backend=bit).
+struct ArtifactFlags {
+  std::string cache_dir;   ///< --artifact-cache=DIR
+  std::string save_path;   ///< --save-artifact=PATH
+  std::string load_path;   ///< --load-artifact=PATH
+
+  bool any() const {
+    return !cache_dir.empty() || !save_path.empty() || !load_path.empty();
+  }
+};
+
 int run_knn(std::size_t dims, std::size_t n, std::size_t k,
             std::uint64_t seed, core::SimulationBackend backend,
-            std::size_t packing_group, std::size_t threads) {
+            std::size_t packing_group, std::size_t threads,
+            const ArtifactFlags& artifacts) {
   const auto data = knn::BinaryDataset::uniform(n, dims, seed);
   core::EngineOptions opt;
   opt.backend = backend;
   opt.packing_group_size = packing_group;
   opt.threads = threads;
+  opt.artifact_cache_dir = artifacts.cache_dir;
   core::ApKnnEngine engine(data, opt);
   std::printf("threads: %zu simulation thread%s\n",
               engine.simulation_threads(),
@@ -110,8 +133,55 @@ int run_knn(std::size_t dims, std::size_t n, std::size_t k,
       std::printf("  fallback x%zu -> cycle-accurate: %s\n", count,
                   why.c_str());
     }
+    if (!artifacts.cache_dir.empty()) {
+      std::printf("artifact cache: %zu hits, %zu misses, %zu invalidations\n",
+                  bs.artifact.hits, bs.artifact.misses,
+                  bs.artifact.invalidations);
+    }
   } else {
     std::printf("backend: cycle-accurate\n");
+  }
+
+  if (!artifacts.save_path.empty()) {
+    std::string error;
+    if (!engine.save_artifact(0, artifacts.save_path, &error)) {
+      std::fprintf(stderr, "save-artifact: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("artifact: saved configuration 0 to %s\n",
+                artifacts.save_path.c_str());
+  }
+  if (!artifacts.load_path.empty()) {
+    const artifact::LoadResult loaded = artifact::load(artifacts.load_path);
+    if (!loaded) {
+      std::fprintf(stderr, "load-artifact: %s: %s\n",
+                   artifact::to_string(loaded.error.code),
+                   loaded.error.detail.c_str());
+      return 1;
+    }
+    const artifact::ArtifactMeta& meta = loaded.artifact->meta;
+    const apsim::BatchProgram& prog = *loaded.artifact->program;
+    std::printf("artifact: loaded %s (builder %s, network '%s', %s family, "
+                "%zu lanes x %zu dims, key %016llx)\n",
+                artifacts.load_path.c_str(), meta.builder.c_str(),
+                meta.network_name.c_str(), apsim::to_string(prog.family()),
+                prog.macro_count(), prog.dims(),
+                static_cast<unsigned long long>(meta.key_hash));
+    const auto fresh = engine.program(0);
+    if (fresh == nullptr) {
+      std::fprintf(stderr,
+                   "load-artifact: configuration 0 has no bit-parallel "
+                   "program to compare against\n");
+      return 1;
+    }
+    if (meta.key_hash != engine.artifact_key(0) ||
+        !(prog.state() == fresh->state())) {
+      std::fprintf(stderr,
+                   "load-artifact: artifact does NOT match configuration 0 "
+                   "(different dataset, options, or builder)\n");
+      return 1;
+    }
+    std::printf("artifact: matches configuration 0 bit-for-bit\n");
   }
 
   auto queries = knn::perturbed_queries(data, 1, 0.1, seed + 1);
@@ -132,7 +202,9 @@ void usage() {
                "  apss_cli pcre '<pattern>' '<text>'\n"
                "  apss_cli anml <file.anml> '<text>'\n"
                "  apss_cli knn <dims> <n> <k> [seed] [--backend=cycle|bit] "
-               "[--packing=<group>] [--threads=<N>]\n");
+               "[--packing=<group>] [--threads=<N>] "
+               "[--artifact-cache=<dir>] [--save-artifact=<path>] "
+               "[--load-artifact=<path>]\n");
 }
 
 }  // namespace
@@ -153,6 +225,7 @@ int main(int argc, char** argv) {
           core::SimulationBackend::kCycleAccurate;
       std::size_t packing_group = 0;
       std::size_t threads = 0;
+      ArtifactFlags artifacts;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--backend=", 0) == 0) {
@@ -200,6 +273,12 @@ int main(int argc, char** argv) {
             return 2;
           }
           threads = static_cast<std::size_t>(v);
+        } else if (arg.rfind("--artifact-cache=", 0) == 0) {
+          artifacts.cache_dir = arg.substr(17);
+        } else if (arg.rfind("--save-artifact=", 0) == 0) {
+          artifacts.save_path = arg.substr(16);
+        } else if (arg.rfind("--load-artifact=", 0) == 0) {
+          artifacts.load_path = arg.substr(16);
         } else if (arg.rfind("--", 0) == 0) {
           std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
           usage();
@@ -216,7 +295,15 @@ int main(int argc, char** argv) {
       const auto n = static_cast<std::size_t>(std::stoul(args[1]));
       const auto k = static_cast<std::size_t>(std::stoul(args[2]));
       const std::uint64_t seed = args.size() > 3 ? std::stoull(args[3]) : 1;
-      return run_knn(dims, n, k, seed, backend, packing_group, threads);
+      if (artifacts.any() &&
+          backend != core::SimulationBackend::kBitParallel) {
+        std::fprintf(stderr,
+                     "--artifact-cache/--save-artifact/--load-artifact need "
+                     "--backend=bit (artifacts hold bit-parallel programs)\n");
+        return 2;
+      }
+      return run_knn(dims, n, k, seed, backend, packing_group, threads,
+                     artifacts);
     }
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error: %s\n", ex.what());

@@ -3,8 +3,11 @@
 #include <cctype>
 #include <map>
 #include <ostream>
+#include <span>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/fnv.hpp"
 
 namespace apss::anml {
 
@@ -406,6 +409,33 @@ AutomataNetwork from_anml(const std::string& xml) {
     network.connect(from->second, to->second, edge.port);
   }
   return network;
+}
+
+std::uint64_t network_digest(const AutomataNetwork& network) {
+  util::Fnv1a64 h;
+  h.update_string("apss-anml-digest/v1");
+  h.update_string(network.name());
+  h.update_u64(network.size());
+  for (const Element& e : network.elements()) {
+    h.update(static_cast<std::uint8_t>(e.kind));
+    h.update_string(e.name);
+    for (const std::uint64_t word : e.symbols.words()) {
+      h.update_u64(word);
+    }
+    h.update(static_cast<std::uint8_t>(e.start));
+    h.update_u32(e.threshold);
+    h.update(static_cast<std::uint8_t>(e.mode));
+    h.update(static_cast<std::uint8_t>(e.op));
+    h.update(e.reporting ? 1 : 0);
+    h.update_u32(e.report_code);
+  }
+  h.update_u64(network.edges().size());
+  for (const Edge& edge : network.edges()) {
+    h.update_u32(edge.from);
+    h.update_u32(edge.to);
+    h.update(static_cast<std::uint8_t>(edge.port));
+  }
+  return h.digest();
 }
 
 }  // namespace apss::anml

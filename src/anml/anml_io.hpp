@@ -16,6 +16,7 @@
 //     <boolean id="..." gate="and|or|not|nand|nor|xor|xnor"> ... </boolean>
 //   </automata-network>
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -26,6 +27,15 @@ namespace apss::anml {
 /// Serializes `network` as ANML XML.
 std::string to_anml(const AutomataNetwork& network);
 void write_anml(std::ostream& os, const AutomataNetwork& network);
+
+/// Order-sensitive 64-bit digest of the network's complete structure —
+/// name, every element (kind, symbol class, start kind, counter
+/// threshold/mode, boolean op, reporting flag/code) and every edge with
+/// its port — WITHOUT materializing the XML. Equal digests mean (up to
+/// hash collision) byte-identical to_anml output and identical execution
+/// semantics; the compile cache (src/artifact) stores it as the artifact's
+/// provenance tie to the serialized ANML design it was compiled from.
+std::uint64_t network_digest(const AutomataNetwork& network);
 
 /// Parses ANML XML produced by to_anml (plus whitespace/comment tolerance).
 /// Throws std::runtime_error with a line-oriented message on malformed input.

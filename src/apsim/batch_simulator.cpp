@@ -807,22 +807,16 @@ std::shared_ptr<const BatchProgram> BatchProgram::compile_lanes(
     const LaneTable& lanes) {
   const std::size_t n = lanes.lanes;
   const std::size_t dims = lanes.dims;
+  const std::size_t words = (n + 63) / 64;
 
-  auto prog = std::shared_ptr<BatchProgram>(new BatchProgram());
-  prog->family_ = lanes.family;
-  prog->macro_count_ = n;
-  prog->dims_ = dims;
-  prog->levels_ = lanes.levels;
-  prog->words_ = (n + 63) / 64;
-  prog->dim_words_ = (dims + 63) / 64;
-  prog->class_count_ = lanes.classes.size();
-  prog->valid_tail_ = (n % 64) ? (std::uint64_t{1} << (n % 64)) - 1
-                               : ~std::uint64_t{0};
-  prog->chain_tail_ = (dims % 64) ? (std::uint64_t{1} << (dims % 64)) - 1
-                                  : ~std::uint64_t{0};
-  prog->sof_ = static_cast<std::uint8_t>(lanes.sof);
-  prog->eof_ = static_cast<std::uint8_t>(lanes.eof);
-
+  BatchProgramState state;
+  state.family = lanes.family;
+  state.lanes = n;
+  state.dims = dims;
+  state.levels = lanes.levels;
+  state.class_count = lanes.classes.size();
+  state.sof = static_cast<std::uint8_t>(lanes.sof);
+  state.eof = static_cast<std::uint8_t>(lanes.eof);
   for (int sym = 0; sym < 256; ++sym) {
     const auto s = static_cast<std::uint8_t>(sym);
     std::uint16_t accept = 0;
@@ -831,28 +825,149 @@ std::shared_ptr<const BatchProgram> BatchProgram::compile_lanes(
         accept |= static_cast<std::uint16_t>(1u << c);
       }
     }
-    prog->sym_classes_[s] = accept;
+    state.sym_classes[s] = accept;
   }
-
-  prog->dim_used_.assign(dims, 0);
-  prog->dim_rows_.assign(dims * prog->class_count_ * prog->words_, 0);
+  state.dim_rows.assign(dims * state.class_count * words, 0);
   for (std::size_t l = 0; l < n; ++l) {
     for (std::size_t i = 0; i < dims; ++i) {
       const std::size_t c = lanes.lane_class[l * dims + i];
-      prog->dim_used_[i] |= static_cast<std::uint16_t>(1u << c);
-      prog->dim_rows_[(i * prog->class_count_ + c) * prog->words_ + l / 64] |=
+      state.dim_rows[(i * state.class_count + c) * words + l / 64] |=
           std::uint64_t{1} << (l % 64);
     }
   }
-  prog->report_elem_ = lanes.report_elem;
-  prog->report_code_ = lanes.report_code;
+  state.report_elem = lanes.report_elem;
+  state.report_code = lanes.report_code;
+  // Funnel through from_state so the invariants it enforces on artifact
+  // load also hold for every freshly compiled program (a violation here
+  // would be a recognizer bug, surfaced as a decline).
+  return from_state(state, nullptr);
+}
+
+std::shared_ptr<const BatchProgram> BatchProgram::from_state(
+    const BatchProgramState& s, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "batch program state: " + why;
+    }
+    return std::shared_ptr<const BatchProgram>{};
+  };
+
+  // Caps keep every derived size computation comfortably inside 64 bits
+  // (dims * classes * words <= 2^20 * 2^4 * 2^20) and far beyond any board.
+  constexpr std::uint64_t kMaxLanes = std::uint64_t{1} << 26;
+  constexpr std::uint64_t kMaxDims = std::uint64_t{1} << 20;
+  if (static_cast<std::uint8_t>(s.family) >
+      static_cast<std::uint8_t>(MacroFamily::kMultiplexed)) {
+    return fail("unknown macro family");
+  }
+  if (s.lanes == 0 || s.lanes > kMaxLanes) {
+    return fail("lane count outside [1, 2^26]");
+  }
+  if (s.dims == 0 || s.dims > kMaxDims) {
+    return fail("dimension count outside [1, 2^20]");
+  }
+  if (s.levels == 0 || s.levels > 63) {
+    return fail("collector depth outside [1, 63]");
+  }
+  if (s.class_count == 0 || s.class_count > kMaxBatchMatchClasses) {
+    return fail("match class count outside [1, " +
+                std::to_string(kMaxBatchMatchClasses) + "]");
+  }
+  if (s.sof == s.eof) {
+    return fail("guard and eof symbols are identical");
+  }
+  const auto class_mask = static_cast<std::uint16_t>(
+      (std::uint32_t{1} << s.class_count) - 1);
+  for (int sym = 0; sym < 256; ++sym) {
+    if ((s.sym_classes[static_cast<std::size_t>(sym)] & ~class_mask) != 0) {
+      return fail("symbol classifier references an out-of-range class");
+    }
+  }
+  const std::uint64_t words = (s.lanes + 63) / 64;
+  if (s.dim_rows.size() != s.dims * s.class_count * words) {
+    return fail("lane-mask row table size does not match the geometry");
+  }
+  if (s.report_elem.size() != s.lanes || s.report_code.size() != s.lanes) {
+    return fail("report tables do not hold one entry per lane");
+  }
+  const std::uint64_t valid_tail = (s.lanes % 64)
+                                       ? (std::uint64_t{1} << (s.lanes % 64)) - 1
+                                       : ~std::uint64_t{0};
+  // Partition property: at every dimension the class rows must cover each
+  // live lane exactly once and touch no dead tail bits — the execution
+  // loop's no-masking fast path depends on it.
+  for (std::uint64_t i = 0; i < s.dims; ++i) {
+    for (std::uint64_t w = 0; w < words; ++w) {
+      std::uint64_t seen = 0;
+      for (std::uint64_t c = 0; c < s.class_count; ++c) {
+        const std::uint64_t row = s.dim_rows[(i * s.class_count + c) * words + w];
+        if ((row & seen) != 0) {
+          return fail("a lane carries two classes at one dimension");
+        }
+        seen |= row;
+      }
+      const std::uint64_t valid = w + 1 == words ? valid_tail
+                                                 : ~std::uint64_t{0};
+      if (seen != valid) {
+        return fail((seen & ~valid) != 0
+                        ? "lane-mask rows set bits beyond the live lanes"
+                        : "a lane has no class at one dimension");
+      }
+    }
+  }
+
+  auto prog = std::shared_ptr<BatchProgram>(new BatchProgram());
+  prog->family_ = s.family;
+  prog->macro_count_ = static_cast<std::size_t>(s.lanes);
+  prog->dims_ = static_cast<std::size_t>(s.dims);
+  prog->levels_ = static_cast<std::size_t>(s.levels);
+  prog->words_ = static_cast<std::size_t>(words);
+  prog->dim_words_ = static_cast<std::size_t>((s.dims + 63) / 64);
+  prog->class_count_ = static_cast<std::size_t>(s.class_count);
+  prog->valid_tail_ = valid_tail;
+  prog->chain_tail_ = (s.dims % 64) ? (std::uint64_t{1} << (s.dims % 64)) - 1
+                                    : ~std::uint64_t{0};
+  prog->sof_ = s.sof;
+  prog->eof_ = s.eof;
+  prog->sym_classes_ = s.sym_classes;
+  prog->dim_rows_ = s.dim_rows;
+  prog->dim_used_.assign(prog->dims_, 0);
+  for (std::size_t i = 0; i < prog->dims_; ++i) {
+    for (std::size_t c = 0; c < prog->class_count_; ++c) {
+      for (std::size_t w = 0; w < prog->words_; ++w) {
+        if (prog->dim_rows_[(i * prog->class_count_ + c) * prog->words_ + w] !=
+            0) {
+          prog->dim_used_[i] |= static_cast<std::uint16_t>(1u << c);
+          break;
+        }
+      }
+    }
+  }
+  prog->report_elem_ = s.report_elem;
+  prog->report_code_ = s.report_code;
 
   // Counter planes: biased so that count >= dims <=> a bit at plane >= P.
-  const auto p = static_cast<std::uint32_t>(std::bit_width(dims - 1));
+  const auto p = static_cast<std::uint32_t>(std::bit_width(s.dims - 1));
   prog->cond_plane_ = p;
   prog->planes_ = p + 2;
-  prog->bias_ = (std::uint64_t{1} << p) - dims;
+  prog->bias_ = (std::uint64_t{1} << p) - s.dims;
   return prog;
+}
+
+BatchProgramState BatchProgram::state() const {
+  BatchProgramState s;
+  s.family = family_;
+  s.lanes = macro_count_;
+  s.dims = dims_;
+  s.levels = levels_;
+  s.class_count = class_count_;
+  s.sof = sof_;
+  s.eof = eof_;
+  s.sym_classes = sym_classes_;
+  s.dim_rows = dim_rows_;
+  s.report_elem = report_elem_;
+  s.report_code = report_code_;
+  return s;
 }
 
 BatchSimulator::BatchSimulator(std::shared_ptr<const BatchProgram> program)

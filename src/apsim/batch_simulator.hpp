@@ -81,6 +81,32 @@ enum class MacroFamily : std::uint8_t {
 
 const char* to_string(MacroFamily family) noexcept;
 
+/// The complete stored state of a compiled BatchProgram — the
+/// field-for-field image the on-disk artifact codec (src/artifact)
+/// serializes. Derived quantities (word counts, tail masks, counter plane
+/// layout) are intentionally absent: BatchProgram::from_state recomputes
+/// them and revalidates every structural invariant, so no decoded byte
+/// stream can construct a program that try_compile could not have
+/// produced shape-wise (docs/ARTIFACTS.md specifies the invariants).
+struct BatchProgramState {
+  MacroFamily family = MacroFamily::kHamming;
+  std::uint64_t lanes = 0;   ///< macro_count()
+  std::uint64_t dims = 0;
+  std::uint64_t levels = 1;  ///< collector tree depth L
+  std::uint64_t class_count = 0;
+  std::uint8_t sof = 0;
+  std::uint8_t eof = 0;
+  /// Per-symbol classifier: bit c = match class c accepts the symbol.
+  std::array<std::uint16_t, 256> sym_classes{};
+  /// dims x class_count x ceil(lanes/64) packed lane-mask rows; the rows of
+  /// one dimension partition the live lanes.
+  std::vector<std::uint64_t> dim_rows;
+  std::vector<anml::ElementId> report_elem;  ///< per lane
+  std::vector<std::uint32_t> report_code;    ///< per lane
+
+  bool operator==(const BatchProgramState&) const = default;
+};
+
 /// Element ids of one plain Hamming/sorting macro inside a configuration
 /// network (a layering-neutral mirror of core::MacroLayout; see
 /// core::batch_slots()). Spans must stay valid for the try_compile call
@@ -144,6 +170,21 @@ class BatchProgram {
       const anml::AutomataNetwork& network,
       std::span<const PackedGroupSlots> groups, SimOptions options,
       std::string* reason = nullptr);
+
+  /// Rebuilds a program from stored state (the artifact load path).
+  /// Validates every invariant the compiler establishes — lane/dimension/
+  /// class bounds, row-table geometry, the per-dimension class-partition
+  /// property — and returns nullptr (filling *error when non-null) on any
+  /// violation; a state that passes is indistinguishable from a freshly
+  /// compiled program. try_compile funnels through this too, so the checks
+  /// run on every compile, not only on load.
+  static std::shared_ptr<const BatchProgram> from_state(
+      const BatchProgramState& state, std::string* error = nullptr);
+
+  /// The stored-state image of this program; from_state(state()) rebuilds
+  /// an identical program (the round-trip property the artifact tests
+  /// assert).
+  BatchProgramState state() const;
 
   /// Lanes in the configuration (= macros for the plain/multiplexed
   /// shapes, = packed vectors summed over groups for the packed shape).

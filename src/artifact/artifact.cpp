@@ -1,0 +1,415 @@
+#include "artifact/artifact.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include "util/fnv.hpp"
+
+namespace apss::artifact {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Little-endian byte stream primitives. The writer grows a vector; the
+// reader never touches a byte it has not bounds-checked first, so decode is
+// well-defined on arbitrary input.
+
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { out_.push_back(v); }
+  void put_u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void put_string(const std::string& s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : data_(bytes) {}
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool truncated() const noexcept { return truncated_; }
+  bool at_end() const noexcept { return pos_ == data_.size(); }
+
+  std::uint8_t read_u8() { return take(1) ? data_[pos_ - 1] : 0; }
+  std::uint16_t read_u16() { return static_cast<std::uint16_t>(read_le(2)); }
+  std::uint32_t read_u32() { return static_cast<std::uint32_t>(read_le(4)); }
+  std::uint64_t read_u64() { return read_le(8); }
+
+  /// Reads `size` raw bytes into a string (caller validates the length cap
+  /// BEFORE calling, so a hostile length cannot drive a huge allocation).
+  std::string read_string_bytes(std::size_t size) {
+    if (!take(size)) {
+      return {};
+    }
+    return std::string(reinterpret_cast<const char*>(&data_[pos_ - size]), size);
+  }
+
+  /// Reads `count` u64 values. Checks the byte budget before allocating.
+  std::vector<std::uint64_t> read_u64_array(std::uint64_t count) {
+    if (count > remaining() / 8) {
+      truncated_ = true;
+      return {};
+    }
+    std::vector<std::uint64_t> out(static_cast<std::size_t>(count));
+    for (std::uint64_t& v : out) {
+      v = read_u64();
+    }
+    return out;
+  }
+  std::vector<std::uint32_t> read_u32_array(std::uint64_t count) {
+    if (count > remaining() / 4) {
+      truncated_ = true;
+      return {};
+    }
+    std::vector<std::uint32_t> out(static_cast<std::size_t>(count));
+    for (std::uint32_t& v : out) {
+      v = read_u32();
+    }
+    return out;
+  }
+
+ private:
+  bool take(std::size_t n) noexcept {
+    if (truncated_ || n > remaining()) {
+      truncated_ = true;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+  std::uint64_t read_le(std::size_t n) {
+    if (!take(n)) {
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ - n + i]) << (8 * i);
+    }
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool truncated_ = false;
+};
+
+LoadResult fail(LoadErrorCode code, std::string detail) {
+  LoadResult r;
+  r.error.code = code;
+  r.error.detail = std::move(detail);
+  return r;
+}
+
+/// Byte offset where content-hash coverage starts: everything after the
+/// magic, version, reserved word and the hash field itself.
+constexpr std::size_t kHashedFrom = 24;
+
+}  // namespace
+
+const char* to_string(LoadErrorCode code) noexcept {
+  switch (code) {
+    case LoadErrorCode::kNotFound:
+      return "not-found";
+    case LoadErrorCode::kIoError:
+      return "io-error";
+    case LoadErrorCode::kTruncated:
+      return "truncated";
+    case LoadErrorCode::kBadMagic:
+      return "bad-magic";
+    case LoadErrorCode::kVersionMismatch:
+      return "version-mismatch";
+    case LoadErrorCode::kHashMismatch:
+      return "hash-mismatch";
+    case LoadErrorCode::kMalformed:
+      return "malformed";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode(const Artifact& artifact) {
+  if (artifact.program == nullptr) {
+    throw std::invalid_argument("artifact::encode: artifact holds no program");
+  }
+  if (artifact.meta.builder.size() > kMaxBuilderLength ||
+      artifact.meta.network_name.size() > kMaxNetworkNameLength) {
+    throw std::invalid_argument("artifact::encode: meta string exceeds format cap");
+  }
+  const apsim::BatchProgramState state = artifact.program->state();
+
+  ByteWriter payload;
+  const ArtifactMeta& m = artifact.meta;
+  payload.put_u64(m.key_hash);
+  payload.put_u64(m.network_digest);
+  payload.put_string(m.builder);
+  payload.put_string(m.network_name);
+  payload.put_u64(m.network_elements);
+  payload.put_u64(m.network_edges);
+  payload.put_u64(m.dataset_begin);
+  payload.put_u64(m.dataset_count);
+
+  payload.put_u8(static_cast<std::uint8_t>(state.family));
+  payload.put_u64(state.lanes);
+  payload.put_u64(state.dims);
+  payload.put_u64(state.levels);
+  payload.put_u64(state.class_count);
+  payload.put_u8(state.sof);
+  payload.put_u8(state.eof);
+  for (const std::uint16_t classes : state.sym_classes) {
+    payload.put_u16(classes);
+  }
+  for (const std::uint64_t row : state.dim_rows) {
+    payload.put_u64(row);
+  }
+  for (const anml::ElementId elem : state.report_elem) {
+    payload.put_u32(elem);
+  }
+  for (const std::uint32_t code : state.report_code) {
+    payload.put_u32(code);
+  }
+  const std::vector<std::uint8_t> body = payload.take();
+
+  util::Fnv1a64 hasher;
+  hasher.update(std::span<const std::uint8_t>(body));
+
+  ByteWriter file;
+  for (const std::uint8_t b : kMagic) {
+    file.put_u8(b);
+  }
+  file.put_u32(kFormatVersion);
+  file.put_u32(0);  // reserved
+  file.put_u64(hasher.digest());
+  std::vector<std::uint8_t> bytes = file.take();
+  bytes.insert(bytes.end(), body.begin(), body.end());
+  return bytes;
+}
+
+LoadResult decode(std::span<const std::uint8_t> bytes) {
+  // Header: validated field by field, OUTSIDE content-hash coverage, so a
+  // foreign file says bad-magic and a future format says version-mismatch
+  // instead of both collapsing into hash-mismatch.
+  if (bytes.size() < sizeof(kMagic)) {
+    return fail(LoadErrorCode::kTruncated,
+                "input shorter than the 8-byte magic (" +
+                    std::to_string(bytes.size()) + " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return fail(LoadErrorCode::kBadMagic, "magic bytes are not \"APSS-ART\"");
+  }
+  if (bytes.size() < kHashedFrom) {
+    return fail(LoadErrorCode::kTruncated,
+                "input ends inside the header (" + std::to_string(bytes.size()) +
+                    " of " + std::to_string(kHashedFrom) + " header bytes)");
+  }
+  ByteReader header(bytes.subspan(sizeof(kMagic), kHashedFrom - sizeof(kMagic)));
+  const std::uint32_t version = header.read_u32();
+  const std::uint32_t reserved = header.read_u32();
+  const std::uint64_t stored_hash = header.read_u64();
+  if (version != kFormatVersion) {
+    return fail(LoadErrorCode::kVersionMismatch,
+                "artifact format version " + std::to_string(version) +
+                    ", this build reads version " + std::to_string(kFormatVersion));
+  }
+  if (reserved != 0) {
+    return fail(LoadErrorCode::kMalformed, "reserved header word is not zero");
+  }
+  util::Fnv1a64 hasher;
+  hasher.update(bytes.subspan(kHashedFrom));
+  if (hasher.digest() != stored_hash) {
+    return fail(LoadErrorCode::kHashMismatch,
+                "content hash mismatch: payload bytes do not match the stored "
+                "FNV-1a digest (corrupt or truncated artifact)");
+  }
+
+  // Payload. The content hash already matched, so from here every failure is
+  // a malformed *valid-looking* file (or a 1-in-2^64 hash collision); the
+  // reader still bounds-checks everything rather than trusting the hash.
+  ByteReader r(bytes.subspan(kHashedFrom));
+  ArtifactMeta meta;
+  meta.key_hash = r.read_u64();
+  meta.network_digest = r.read_u64();
+  const std::uint32_t builder_len = r.read_u32();
+  if (!r.truncated() && builder_len > kMaxBuilderLength) {
+    return fail(LoadErrorCode::kMalformed,
+                "builder string length " + std::to_string(builder_len) +
+                    " exceeds cap " + std::to_string(kMaxBuilderLength));
+  }
+  meta.builder = r.read_string_bytes(builder_len);
+  const std::uint32_t name_len = r.read_u32();
+  if (!r.truncated() && name_len > kMaxNetworkNameLength) {
+    return fail(LoadErrorCode::kMalformed,
+                "network name length " + std::to_string(name_len) +
+                    " exceeds cap " + std::to_string(kMaxNetworkNameLength));
+  }
+  meta.network_name = r.read_string_bytes(name_len);
+  meta.network_elements = r.read_u64();
+  meta.network_edges = r.read_u64();
+  meta.dataset_begin = r.read_u64();
+  meta.dataset_count = r.read_u64();
+
+  apsim::BatchProgramState state;
+  const std::uint8_t family_raw = r.read_u8();
+  if (!r.truncated() &&
+      family_raw > static_cast<std::uint8_t>(apsim::MacroFamily::kMultiplexed)) {
+    return fail(LoadErrorCode::kMalformed,
+                "unknown macro family tag " + std::to_string(family_raw));
+  }
+  state.family = static_cast<apsim::MacroFamily>(family_raw);
+  state.lanes = r.read_u64();
+  state.dims = r.read_u64();
+  state.levels = r.read_u64();
+  state.class_count = r.read_u64();
+  state.sof = r.read_u8();
+  state.eof = r.read_u8();
+  for (std::uint16_t& classes : state.sym_classes) {
+    classes = r.read_u16();
+  }
+  // Shape caps before the size product: with lanes <= 2^26, dims <= 2^20 and
+  // class_count <= 16 the row count fits comfortably in 64 bits, so the
+  // multiplication below cannot overflow (from_state re-checks these).
+  if (!r.truncated() &&
+      (state.lanes == 0 || state.lanes > (1ULL << 26) || state.dims == 0 ||
+       state.dims > (1ULL << 20) || state.class_count == 0 ||
+       state.class_count > 16)) {
+    return fail(LoadErrorCode::kMalformed,
+                "program shape out of range: lanes=" + std::to_string(state.lanes) +
+                    " dims=" + std::to_string(state.dims) +
+                    " classes=" + std::to_string(state.class_count));
+  }
+  if (!r.truncated()) {
+    const std::uint64_t words = (state.lanes + 63) / 64;
+    state.dim_rows = r.read_u64_array(state.dims * state.class_count * words);
+    state.report_elem = r.read_u32_array(state.lanes);
+    state.report_code = r.read_u32_array(state.lanes);
+  }
+
+  if (r.truncated()) {
+    return fail(LoadErrorCode::kTruncated,
+                "payload ends before a field it promises");
+  }
+  if (!r.at_end()) {
+    return fail(LoadErrorCode::kMalformed,
+                std::to_string(r.remaining()) + " trailing bytes after the payload");
+  }
+
+  std::string program_error;
+  std::shared_ptr<const apsim::BatchProgram> program =
+      apsim::BatchProgram::from_state(state, &program_error);
+  if (program == nullptr) {
+    return fail(LoadErrorCode::kMalformed, "program rejected: " + program_error);
+  }
+
+  auto artifact = std::make_shared<Artifact>();
+  artifact->meta = std::move(meta);
+  artifact->program = std::move(program);
+  LoadResult result;
+  result.artifact = std::move(artifact);
+  return result;
+}
+
+bool save(const std::string& path, const Artifact& artifact, std::string* error) {
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = encode(artifact);
+  } catch (const std::invalid_argument& e) {
+    if (error != nullptr) {
+      *error = e.what();
+    }
+    return false;
+  }
+
+  // Unique-per-process temp name so concurrent savers of the same slot do
+  // not interleave; the final rename is atomic on POSIX.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) {
+        *error = "cannot open " + tmp_path + " for writing";
+      }
+      return false;
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      if (error != nullptr) {
+        *error = "short write to " + tmp_path;
+      }
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot rename " + tmp_path + " to " + path + ": " + ec.message();
+    }
+    std::error_code cleanup;
+    std::filesystem::remove(tmp_path, cleanup);
+    return false;
+  }
+  return true;
+}
+
+LoadResult load(const std::string& path) {
+  // Stat first: a directory (or other non-regular file) would report a
+  // nonsense stream size below.
+  std::error_code ec;
+  const std::filesystem::file_status st = std::filesystem::status(path, ec);
+  if (ec || !std::filesystem::exists(st)) {
+    return fail(LoadErrorCode::kNotFound, "no artifact at " + path);
+  }
+  if (!std::filesystem::is_regular_file(st)) {
+    return fail(LoadErrorCode::kIoError, path + " is not a regular file");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return fail(LoadErrorCode::kIoError, "cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) {
+    return fail(LoadErrorCode::kIoError, "cannot determine size of " + path);
+  }
+  in.seekg(0, std::ios::beg);
+  bytes.resize(static_cast<std::size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(bytes.data()), size);
+  }
+  if (!in) {
+    return fail(LoadErrorCode::kIoError, "short read from " + path);
+  }
+  return decode(bytes);
+}
+
+}  // namespace apss::artifact

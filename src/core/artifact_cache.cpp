@@ -1,0 +1,106 @@
+#include "core/artifact_cache.hpp"
+
+#include <utility>
+
+#include "apsim/simulator.hpp"
+
+namespace apss::core {
+
+const char* to_string(ArtifactOutcome outcome) noexcept {
+  switch (outcome) {
+    case ArtifactOutcome::kDisabled:
+      return "disabled";
+    case ArtifactOutcome::kHit:
+      return "hit";
+    case ArtifactOutcome::kMiss:
+      return "miss";
+    case ArtifactOutcome::kInvalidated:
+      return "invalidated";
+  }
+  return "unknown";
+}
+
+std::string artifact_cache_path(const std::string& dir,
+                                std::string_view builder, std::size_t slot) {
+  std::string index = std::to_string(slot);
+  if (index.size() < 4) {
+    index.insert(0, 4 - index.size(), '0');
+  }
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') {
+    path += '/';
+  }
+  path.append(builder);
+  path += ".config";
+  path += index;
+  path += ".apss-art";
+  return path;
+}
+
+void hash_dataset_slice(util::Fnv1a64& hasher, const knn::BinaryDataset& data,
+                        std::size_t begin, std::size_t count) {
+  hasher.update_u64(count);
+  hasher.update_u64(data.dims());
+  hasher.update_u64(data.word_stride());
+  for (std::size_t i = begin; i < begin + count; ++i) {
+    for (const std::uint64_t word : data.row(i)) {
+      hasher.update_u64(word);
+    }
+  }
+}
+
+void hash_macro_options(util::Fnv1a64& hasher,
+                        const HammingMacroOptions& options) {
+  hasher.update_u64(options.collector_fan_in);
+  hasher.update_u64(options.max_counter_fan_in);
+  hasher.update_u64(options.bit_slice);
+}
+
+void hash_sim_options(util::Fnv1a64& hasher, const apsim::SimOptions& options) {
+  hasher.update_u32(options.max_counter_increment);
+  hasher.update(static_cast<std::uint8_t>(options.allow_dynamic_threshold));
+}
+
+CachedProgram try_load_program(const std::string& path,
+                               std::uint64_t expected_key,
+                               std::uint64_t expected_lanes,
+                               std::uint64_t expected_dims) {
+  CachedProgram out;
+  artifact::LoadResult loaded = artifact::load(path);
+  if (!loaded) {
+    if (loaded.error.code == artifact::LoadErrorCode::kNotFound) {
+      out.outcome = ArtifactOutcome::kMiss;
+    } else {
+      out.outcome = ArtifactOutcome::kInvalidated;
+      out.detail = std::string(artifact::to_string(loaded.error.code)) + ": " +
+                   loaded.error.detail;
+    }
+    return out;
+  }
+  const artifact::Artifact& art = *loaded.artifact;
+  if (art.meta.key_hash != expected_key) {
+    out.outcome = ArtifactOutcome::kInvalidated;
+    out.detail = "compile-input key mismatch (stale artifact)";
+    return out;
+  }
+  if (art.program->macro_count() != expected_lanes ||
+      art.program->dims() != expected_dims) {
+    out.outcome = ArtifactOutcome::kInvalidated;
+    out.detail = "program shape mismatch despite matching key";
+    return out;
+  }
+  out.outcome = ArtifactOutcome::kHit;
+  out.program = art.program;
+  return out;
+}
+
+bool store_program(const std::string& path, const artifact::ArtifactMeta& meta,
+                   std::shared_ptr<const apsim::BatchProgram> program,
+                   std::string* error) {
+  artifact::Artifact art;
+  art.meta = meta;
+  art.program = std::move(program);
+  return artifact::save(path, art, error);
+}
+
+}  // namespace apss::core

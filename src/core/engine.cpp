@@ -1,12 +1,25 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <stdexcept>
+#include <string_view>
+#include <system_error>
 
+#include "anml/anml_io.hpp"
 #include "core/batch_compile.hpp"
 #include "core/temporal_decode.hpp"
+#include "util/fnv.hpp"
 
 namespace apss::core {
+namespace {
+
+/// Builder tag: names the cache slot files and salts the compile-input key,
+/// so engine artifacts and multiplexed artifacts can never satisfy each
+/// other even from a shared cache directory.
+constexpr std::string_view kEngineBuilder = "apss-knn-engine";
+
+}  // namespace
 
 ApKnnEngine::ApKnnEngine(knn::BinaryDataset dataset, EngineOptions options)
     : dataset_(std::move(dataset)), options_(options) {
@@ -72,51 +85,60 @@ ApKnnEngine::ApKnnEngine(knn::BinaryDataset dataset, EngineOptions options)
   // Compile one automata network per board configuration. When the
   // bit-parallel backend is requested, each configuration is additionally
   // compiled into a packed BatchProgram; failures leave `program` null and
-  // that configuration runs on the cycle-accurate simulator. Partitions are
-  // independent, so configuration shards compile on the worker pool; each
-  // shard records its own decline reason and the reduce below walks shards
-  // in configuration order, so the aggregated stats are identical at any
-  // thread count (no shared counter mutation).
+  // that configuration runs on the cycle-accurate simulator. With an
+  // artifact cache directory, each configuration first tries to LOAD its
+  // program — a hit skips both the network construction and the
+  // verification compile (network(i) rebuilds lazily if inspected).
+  // Partitions are independent, so configuration shards compile on the
+  // worker pool; each shard records its own decline reason and cache
+  // outcome and the reduce below walks shards in configuration order, so
+  // the aggregated stats are identical at any thread count (no shared
+  // counter mutation).
+  const bool cache_enabled =
+      options_.backend == SimulationBackend::kBitParallel &&
+      !options_.artifact_cache_dir.empty();
+  if (cache_enabled) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.artifact_cache_dir, ec);
+    if (ec) {
+      throw std::invalid_argument(
+          "ApKnnEngine: cannot create artifact cache directory " +
+          options_.artifact_cache_dir + ": " + ec.message());
+    }
+  }
   const apsim::SimOptions sim_options =
       apsim::SimOptions::from(options_.device.features);
   partitions_.resize((dataset_.size() + capacity_ - 1) / capacity_);
   std::vector<std::string> decline_reasons(partitions_.size());
+  std::vector<ArtifactOutcome> outcomes(partitions_.size(),
+                                        ArtifactOutcome::kDisabled);
   const auto build_partition = [&](std::size_t c) {
     Partition& p = partitions_[c];
     p.begin = c * capacity_;
     p.count = std::min(capacity_, dataset_.size() - p.begin);
-    p.network = std::make_unique<anml::AutomataNetwork>(
-        "config" + std::to_string(c));
-    if (packed) {
-      std::vector<PackedGroupLayout> layouts;
-      for (std::size_t gb = p.begin; gb < p.begin + p.count;
-           gb += pack_opt.group_size) {
-        const std::size_t gcount =
-            std::min(pack_opt.group_size, p.begin + p.count - gb);
-        layouts.push_back(
-            append_packed_group(*p.network, dataset_, gb, gcount, pack_opt));
-        if (layouts.back().collector_levels != spec_.collector_levels) {
-          throw std::logic_error("ApKnnEngine: inconsistent collector depth");
-        }
+    if (cache_enabled) {
+      CachedProgram cached =
+          try_load_program(artifact_cache_file(c), artifact_key(c), p.count,
+                           dataset_.dims());
+      outcomes[c] = cached.outcome;
+      if (cached.outcome == ArtifactOutcome::kHit) {
+        p.program = std::move(cached.program);
+        return;
       }
-      if (options_.backend == SimulationBackend::kBitParallel) {
-        p.program = compile_packed_batch(*p.network, layouts, sim_options,
-                                         &decline_reasons[c]);
-      }
-    } else {
-      std::vector<MacroLayout> layouts;
-      layouts.reserve(p.count);
-      for (std::size_t i = 0; i < p.count; ++i) {
-        layouts.push_back(append_hamming_macro(
-            *p.network, dataset_.vector(p.begin + i),
-            static_cast<std::uint32_t>(p.begin + i), options_.macro));
-        if (layouts.back().collector_levels != spec_.collector_levels) {
-          throw std::logic_error("ApKnnEngine: inconsistent collector depth");
-        }
-      }
-      if (options_.backend == SimulationBackend::kBitParallel) {
-        p.program = compile_hamming_batch(*p.network, layouts, sim_options,
-                                          &decline_reasons[c]);
+    }
+    std::vector<MacroLayout> hamming_layouts;
+    std::vector<PackedGroupLayout> packed_layouts;
+    build_network(p, &hamming_layouts, &packed_layouts);
+    if (options_.backend == SimulationBackend::kBitParallel) {
+      p.program =
+          packed ? compile_packed_batch(*p.network, packed_layouts,
+                                        sim_options, &decline_reasons[c])
+                 : compile_hamming_batch(*p.network, hamming_layouts,
+                                         sim_options, &decline_reasons[c]);
+      if (cache_enabled && p.program != nullptr) {
+        // Best-effort: an unwritable cache degrades to compile-every-time,
+        // it never fails construction.
+        store_program(artifact_cache_file(c), artifact_meta(p), p.program);
       }
     }
   };
@@ -135,6 +157,7 @@ ApKnnEngine::ApKnnEngine(knn::BinaryDataset dataset, EngineOptions options)
   for (std::size_t c = 0; c < partitions_.size(); ++c) {
     const Partition& p = partitions_[c];
     ++compile_stats_.configurations;
+    compile_stats_.artifact.record(outcomes[c]);
     if (p.program != nullptr) {
       ++compile_stats_.bit_parallel;
       switch (p.program->family()) {
@@ -159,6 +182,106 @@ ApKnnEngine::ApKnnEngine(knn::BinaryDataset dataset, EngineOptions options)
   }
 }
 
+void ApKnnEngine::build_network(
+    const Partition& p, std::vector<MacroLayout>* hamming_layouts,
+    std::vector<PackedGroupLayout>* packed_layouts) const {
+  const std::size_t config = p.begin / capacity_;
+  p.network =
+      std::make_unique<anml::AutomataNetwork>("config" + std::to_string(config));
+  if (options_.packing_group_size > 0) {
+    VectorPackingOptions pack_opt;
+    pack_opt.group_size = options_.packing_group_size;
+    pack_opt.style = options_.packing_style;
+    pack_opt.macro = options_.macro;
+    for (std::size_t gb = p.begin; gb < p.begin + p.count;
+         gb += pack_opt.group_size) {
+      const std::size_t gcount =
+          std::min(pack_opt.group_size, p.begin + p.count - gb);
+      PackedGroupLayout layout =
+          append_packed_group(*p.network, dataset_, gb, gcount, pack_opt);
+      if (layout.collector_levels != spec_.collector_levels) {
+        throw std::logic_error("ApKnnEngine: inconsistent collector depth");
+      }
+      if (packed_layouts != nullptr) {
+        packed_layouts->push_back(std::move(layout));
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < p.count; ++i) {
+      MacroLayout layout = append_hamming_macro(
+          *p.network, dataset_.vector(p.begin + i),
+          static_cast<std::uint32_t>(p.begin + i), options_.macro);
+      if (layout.collector_levels != spec_.collector_levels) {
+        throw std::logic_error("ApKnnEngine: inconsistent collector depth");
+      }
+      if (hamming_layouts != nullptr) {
+        hamming_layouts->push_back(std::move(layout));
+      }
+    }
+  }
+}
+
+void ApKnnEngine::ensure_network(const Partition& p) const {
+  if (p.network == nullptr) {
+    build_network(p, nullptr, nullptr);
+  }
+}
+
+const anml::AutomataNetwork& ApKnnEngine::network(std::size_t i) const {
+  const Partition& p = partitions_.at(i);
+  ensure_network(p);
+  return *p.network;
+}
+
+std::uint64_t ApKnnEngine::artifact_key(std::size_t i) const {
+  const Partition& p = partitions_.at(i);
+  util::Fnv1a64 hasher;
+  hasher.update_string(kEngineBuilder);
+  hasher.update_u32(artifact::kFormatVersion);
+  hasher.update_u64(p.begin);
+  hash_dataset_slice(hasher, dataset_, p.begin, p.count);
+  hash_macro_options(hasher, options_.macro);
+  hasher.update_u64(options_.packing_group_size);
+  hasher.update(static_cast<std::uint8_t>(options_.packing_style));
+  hash_sim_options(hasher, apsim::SimOptions::from(options_.device.features));
+  return hasher.digest();
+}
+
+std::string ApKnnEngine::artifact_cache_file(std::size_t i) const {
+  if (options_.artifact_cache_dir.empty()) {
+    return {};
+  }
+  return artifact_cache_path(options_.artifact_cache_dir, kEngineBuilder, i);
+}
+
+artifact::ArtifactMeta ApKnnEngine::artifact_meta(const Partition& p) const {
+  ensure_network(p);
+  artifact::ArtifactMeta meta;
+  meta.key_hash = artifact_key(p.begin / capacity_);
+  meta.network_digest = anml::network_digest(*p.network);
+  meta.builder = std::string(kEngineBuilder);
+  meta.network_name = p.network->name();
+  meta.network_elements = p.network->size();
+  meta.network_edges = p.network->edges().size();
+  meta.dataset_begin = p.begin;
+  meta.dataset_count = p.count;
+  return meta;
+}
+
+bool ApKnnEngine::save_artifact(std::size_t i, const std::string& path,
+                                std::string* error) const {
+  const Partition& p = partitions_.at(i);
+  if (p.program == nullptr) {
+    if (error != nullptr) {
+      *error = "configuration " + std::to_string(i) +
+               " has no compiled bit-parallel program (cycle-accurate "
+               "backend, or the compile fell back)";
+    }
+    return false;
+  }
+  return store_program(path, artifact_meta(p), p.program, error);
+}
+
 std::size_t ApKnnEngine::bit_parallel_configurations() const noexcept {
   std::size_t n = 0;
   for (const Partition& p : partitions_) {
@@ -168,8 +291,7 @@ std::size_t ApKnnEngine::bit_parallel_configurations() const noexcept {
 }
 
 apsim::PlacementResult ApKnnEngine::placement(std::size_t i) const {
-  return apsim::place(*partitions_.at(i).network, options_.board,
-                      options_.placement);
+  return apsim::place(network(i), options_.board, options_.placement);
 }
 
 EngineStats ApKnnEngine::project(std::size_t query_count) const {

@@ -15,6 +15,7 @@
 #include "apsim/device.hpp"
 #include "apsim/placement.hpp"
 #include "apsim/simulator.hpp"
+#include "core/artifact_cache.hpp"
 #include "core/hamming_macro.hpp"
 #include "core/opt/vector_packing.hpp"
 #include "core/stream.hpp"
@@ -58,6 +59,9 @@ struct BackendCompileStats {
   /// Distinct try_compile decline reasons -> configuration counts (empty
   /// when nothing fell back or the backend is kCycleAccurate).
   std::vector<std::pair<std::string, std::size_t>> fallback_reasons;
+  /// Compile-cache hit/miss/invalidation counters (all zero unless
+  /// EngineOptions::artifact_cache_dir is set; see core/artifact_cache.hpp).
+  ArtifactCacheStats artifact;
 
   bool operator==(const BackendCompileStats&) const = default;
 };
@@ -102,6 +106,14 @@ struct EngineOptions {
   /// routable at high dimensionality; kFlat reproduces the paper's naive
   /// construction (fan-in = dims, "places but only partially routes").
   CollectorStyle packing_style = CollectorStyle::kTree;
+  /// Ahead-of-time compile cache directory (created if absent). With the
+  /// kBitParallel backend, each configuration first tries to LOAD its
+  /// compiled program from a slot file here (skipping network construction
+  /// and verification entirely); on a miss or invalidation it compiles
+  /// fresh and saves the artifact. Outcomes are counted in
+  /// EngineStats::backend.artifact. Empty (default) disables the cache; the
+  /// kCycleAccurate backend ignores it (nothing is compiled).
+  std::string artifact_cache_dir;
 };
 
 /// Cycle/report accounting for the device-time model (Sec. V).
@@ -184,13 +196,34 @@ class ApKnnEngine {
   }
 
   /// The compiled automata network of configuration `i` (for inspection,
-  /// ANML export, and resource benches).
-  const anml::AutomataNetwork& network(std::size_t i) const {
-    return *partitions_.at(i).network;
-  }
+  /// ANML export, and resource benches). Configurations satisfied from the
+  /// artifact cache skip network construction; the network is rebuilt
+  /// lazily — and deterministically — on first access. Not safe to call
+  /// concurrently with itself or placement() for the same `i`.
+  const anml::AutomataNetwork& network(std::size_t i) const;
 
   /// Placement report of configuration `i` on the configured board.
   apsim::PlacementResult placement(std::size_t i) const;
+
+  /// Compiled bit-parallel program of configuration `i` (null when that
+  /// configuration runs cycle-accurate).
+  std::shared_ptr<const apsim::BatchProgram> program(std::size_t i) const {
+    return partitions_.at(i).program;
+  }
+
+  /// Compile-input key of configuration `i`: the hash an artifact must
+  /// carry for the cache to accept it (docs/ARTIFACTS.md "Key hash").
+  std::uint64_t artifact_key(std::size_t i) const;
+
+  /// Slot file the cache uses for configuration `i`; empty when
+  /// EngineOptions::artifact_cache_dir is unset.
+  std::string artifact_cache_file(std::size_t i) const;
+
+  /// Writes configuration `i`'s compiled program (plus provenance metadata)
+  /// to `path` as an artifact. Fails — with a message in *error — when the
+  /// configuration has no bit-parallel program.
+  bool save_artifact(std::size_t i, const std::string& path,
+                     std::string* error = nullptr) const;
 
   /// Analytic cycle/report model WITHOUT simulating (used to project large
   /// workloads); mirrors the accounting search() performs.
@@ -204,10 +237,23 @@ class ApKnnEngine {
   struct Partition {
     std::size_t begin = 0;  ///< first global vector id
     std::size_t count = 0;
-    std::unique_ptr<anml::AutomataNetwork> network;
+    /// Null after an artifact-cache hit until network()/placement() rebuild
+    /// it lazily (mutable: rebuilding does not change observable state —
+    /// construction is deterministic, so the rebuilt network is the one the
+    /// compile path would have produced).
+    mutable std::unique_ptr<anml::AutomataNetwork> network;
     /// Compiled bit-parallel program; null = use the cycle-accurate path.
     std::shared_ptr<const apsim::BatchProgram> program;
   };
+
+  /// Builds `p`'s configuration network (and the per-macro layouts when the
+  /// out-params are non-null) from the dataset slice [p.begin, p.begin +
+  /// p.count) — shared by the construction path and the lazy rebuild.
+  void build_network(const Partition& p,
+                     std::vector<MacroLayout>* hamming_layouts,
+                     std::vector<PackedGroupLayout>* packed_layouts) const;
+  void ensure_network(const Partition& p) const;
+  artifact::ArtifactMeta artifact_meta(const Partition& p) const;
 
   knn::BinaryDataset dataset_;
   EngineOptions options_;

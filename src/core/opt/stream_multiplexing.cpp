@@ -1,14 +1,26 @@
 #include "core/opt/stream_multiplexing.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <stdexcept>
+#include <string_view>
+#include <system_error>
 
+#include "anml/anml_io.hpp"
 #include "apsim/batch_simulator.hpp"
 #include "apsim/simulator.hpp"
 #include "core/batch_compile.hpp"
 #include "core/temporal_decode.hpp"
+#include "util/fnv.hpp"
 
 namespace apss::core {
+namespace {
+
+/// Cache builder tag (see kEngineBuilder in engine.cpp: the tag salts the
+/// key so engine and multiplexed artifacts never satisfy each other).
+constexpr std::string_view kMuxBuilder = "apss-mux-knn";
+
+}  // namespace
 
 std::vector<MacroLayout> build_multiplexed_network(
     anml::AutomataNetwork& network, const knn::BinaryDataset& data,
@@ -76,8 +88,12 @@ std::vector<std::uint8_t> MultiplexedStreamEncoder::encode_batch(
 
 MultiplexedKnn::MultiplexedKnn(knn::BinaryDataset data, std::size_t slices,
                                HammingMacroOptions options,
-                               SimulationBackend backend)
-    : data_(std::move(data)), slices_(slices), network_("multiplexed") {
+                               SimulationBackend backend,
+                               std::string artifact_cache_dir)
+    : data_(std::move(data)),
+      slices_(slices),
+      network_("multiplexed"),
+      macro_options_(options) {
   if (data_.empty()) {
     throw std::invalid_argument("MultiplexedKnn: empty dataset");
   }
@@ -85,9 +101,56 @@ MultiplexedKnn::MultiplexedKnn(knn::BinaryDataset data, std::size_t slices,
                      collector_levels_for(data_.dims(), options)};
   const auto layouts =
       build_multiplexed_network(network_, data_, slices_, options);
-  if (backend == SimulationBackend::kBitParallel) {
-    program_ = compile_hamming_batch(network_, layouts, {}, &fallback_reason_);
+  if (backend != SimulationBackend::kBitParallel) {
+    return;
   }
+  // Compile cache: the network itself is always built (it backs network()
+  // and the cycle-accurate fallback); a hit skips the try_compile
+  // verification pass over the slice-replicated design.
+  const bool cache_enabled = !artifact_cache_dir.empty();
+  std::string cache_file;
+  if (cache_enabled) {
+    std::error_code ec;
+    std::filesystem::create_directories(artifact_cache_dir, ec);
+    if (ec) {
+      throw std::invalid_argument(
+          "MultiplexedKnn: cannot create artifact cache directory " +
+          artifact_cache_dir + ": " + ec.message());
+    }
+    cache_file = artifact_cache_path(artifact_cache_dir, kMuxBuilder, 0);
+    CachedProgram cached = try_load_program(
+        cache_file, artifact_key(), data_.size() * slices_, data_.dims());
+    artifact_outcome_ = cached.outcome;
+    artifact_detail_ = std::move(cached.detail);
+    if (cached.outcome == ArtifactOutcome::kHit) {
+      program_ = std::move(cached.program);
+      return;
+    }
+  }
+  program_ = compile_hamming_batch(network_, layouts, {}, &fallback_reason_);
+  if (cache_enabled && program_ != nullptr) {
+    artifact::ArtifactMeta meta;
+    meta.key_hash = artifact_key();
+    meta.network_digest = anml::network_digest(network_);
+    meta.builder = std::string(kMuxBuilder);
+    meta.network_name = network_.name();
+    meta.network_elements = network_.size();
+    meta.network_edges = network_.edges().size();
+    meta.dataset_begin = 0;
+    meta.dataset_count = data_.size();
+    store_program(cache_file, meta, program_);
+  }
+}
+
+std::uint64_t MultiplexedKnn::artifact_key() const {
+  util::Fnv1a64 hasher;
+  hasher.update_string(kMuxBuilder);
+  hasher.update_u32(artifact::kFormatVersion);
+  hasher.update_u64(slices_);
+  hash_dataset_slice(hasher, data_, 0, data_.size());
+  hash_macro_options(hasher, macro_options_);
+  hash_sim_options(hasher, apsim::SimOptions{});
+  return hasher.digest();
 }
 
 std::vector<std::vector<knn::Neighbor>> MultiplexedKnn::search(

@@ -73,10 +73,15 @@ class MultiplexedKnn {
   /// network is additionally compiled for apsim::BatchSimulator (the
   /// multiplexed shape always compiles under stock device features); if
   /// compilation declines, search() falls back to the cycle-accurate
-  /// simulator, exactly like core::ApKnnEngine.
+  /// simulator, exactly like core::ApKnnEngine. A non-empty
+  /// `artifact_cache_dir` (kBitParallel only) loads the compiled program
+  /// from its cache slot when a valid artifact is present — skipping the
+  /// verification compile — and compiles + saves otherwise; the outcome is
+  /// reported by artifact_outcome().
   MultiplexedKnn(knn::BinaryDataset data, std::size_t slices = kMaxSlices,
                  HammingMacroOptions options = {},
-                 SimulationBackend backend = SimulationBackend::kCycleAccurate);
+                 SimulationBackend backend = SimulationBackend::kCycleAccurate,
+                 std::string artifact_cache_dir = {});
 
   /// Exact kNN for all rows of `queries`, `slices` queries per frame.
   /// Returns ascending-distance neighbor lists of dataset vector ids.
@@ -104,6 +109,19 @@ class MultiplexedKnn {
     return fallback_reason_;
   }
 
+  /// What the compile cache did at construction (kDisabled without a cache
+  /// directory; see core/artifact_cache.hpp).
+  ArtifactOutcome artifact_outcome() const noexcept {
+    return artifact_outcome_;
+  }
+  /// Why a cached artifact was rejected (empty unless kInvalidated).
+  const std::string& artifact_detail() const noexcept {
+    return artifact_detail_;
+  }
+
+  /// Compile-input key a cached artifact must match for this design.
+  std::uint64_t artifact_key() const;
+
   /// Frames (and thus cycles) needed for `q` queries: ceil(q / slices) vs
   /// q for the base design — the throughput gain of Sec. VI-B.
   std::size_t frames_for(std::size_t q) const {
@@ -118,6 +136,9 @@ class MultiplexedKnn {
   /// Compiled bit-parallel program; null = use the cycle-accurate path.
   std::shared_ptr<const apsim::BatchProgram> program_;
   std::string fallback_reason_;
+  HammingMacroOptions macro_options_;
+  ArtifactOutcome artifact_outcome_ = ArtifactOutcome::kDisabled;
+  std::string artifact_detail_;
 };
 
 }  // namespace apss::core

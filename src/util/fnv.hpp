@@ -1,0 +1,61 @@
+#pragma once
+// 64-bit FNV-1a streaming hash.
+//
+// Used where the repo needs a cheap, stable, dependency-free content hash
+// with a pinned byte-level definition: the ANML network digest
+// (anml::network_digest) and the on-disk artifact format's content/key
+// hashes (src/artifact, docs/ARTIFACTS.md). NOT cryptographic — it detects
+// corruption and configuration drift, not adversaries.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace apss::util {
+
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+  constexpr Fnv1a64& update(std::uint8_t byte) noexcept {
+    hash_ = (hash_ ^ byte) * kPrime;
+    return *this;
+  }
+  constexpr Fnv1a64& update(std::span<const std::uint8_t> bytes) noexcept {
+    for (const std::uint8_t b : bytes) {
+      update(b);
+    }
+    return *this;
+  }
+  /// Integers hash as little-endian fixed-width byte sequences, so digests
+  /// are identical across hosts (the on-disk format is little-endian too).
+  constexpr Fnv1a64& update_u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      update(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+    return *this;
+  }
+  constexpr Fnv1a64& update_u32(std::uint32_t v) noexcept {
+    for (int i = 0; i < 4; ++i) {
+      update(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+    return *this;
+  }
+  /// Length-prefixed, so consecutive strings cannot alias each other.
+  constexpr Fnv1a64& update_string(std::string_view s) noexcept {
+    update_u64(s.size());
+    for (const char c : s) {
+      update(static_cast<std::uint8_t>(c));
+    }
+    return *this;
+  }
+
+  constexpr std::uint64_t digest() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+}  // namespace apss::util
