@@ -7,8 +7,11 @@
 //   apss_cli anml <file.anml> '<input text>'
 //       Load an ANML network, execute it, and print report events.
 //   apss_cli knn <d> <n> <k> [seed] [--backend=cycle|bit] [--packing=<g>]
-//            [--threads=<N>] [--artifact-cache=<dir>]
-//            [--save-artifact=<path>] [--load-artifact=<path>]
+//            [--threads=<N>] [--max-per-config=<N>]
+//            [--artifact-cache=<dir>] [--save-artifact=<path>]
+//            [--load-artifact=<path>] [--deadline-ms=<ms>]
+//            [--on-error=fail|isolate|retry[:N]]
+//            [--inject-fault=<site>[:<hit>[:<count>[:<key>]]]]
 //       Build a random n x d-bit dataset, compile it to Hamming/sorting
 //       macros, run one random query end to end, and print the neighbors
 //       plus the placement report — the whole paper pipeline in one shot.
@@ -20,20 +23,41 @@
 //       design, g vectors per shared ladder. --threads=N shards the
 //       compile and the search over N threads (0 = all hardware threads,
 //       the default; 1 = serial); any N returns bit-identical results.
+//       --max-per-config=N caps vectors per board configuration (forces
+//       multi-configuration runs on small datasets).
 //       The artifact flags need --backend=bit (docs/ARTIFACTS.md):
 //       --artifact-cache=dir compiles through the on-disk compile cache
-//       and prints its hit/miss/invalidation counters;
-//       --save-artifact=path writes configuration 0's compiled program as
-//       a versioned artifact; --load-artifact=path loads an artifact,
-//       prints its provenance, and cross-checks it bit-for-bit against
-//       the freshly compiled configuration 0.
+//       and prints its counters; --save-artifact=path writes
+//       configuration 0's compiled program as a versioned artifact;
+//       --load-artifact=path loads an artifact, prints its provenance,
+//       and cross-checks it bit-for-bit against the freshly compiled
+//       configuration 0.
+//       Robustness flags (docs/ROBUSTNESS.md): --deadline-ms budgets the
+//       search (frame-granular enforcement); --on-error picks the shard
+//       failure policy (fail = abort on first failure, the default;
+//       isolate = skip failed configurations; retry[:N] = isolate after N
+//       extra attempts); --inject-fault arms the deterministic fault
+//       injector at a named site (e.g. engine.shard, artifact.read) for
+//       testing the failure paths from the shell.
+//
+// Exit codes (asserted by scripts/cli_exit_codes_test.sh):
+//   0  success
+//   1  unexpected runtime error
+//   2  usage / invalid arguments
+//   3  load error (ANML file, artifact)
+//   4  search/shard failure under --on-error=fail
+//   5  deadline exceeded
+//   6  cancelled (SIGINT)
+//   7  loaded artifact does not match configuration 0
 
 #include <climits>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -45,11 +69,33 @@
 #include "apsim/simulator.hpp"
 #include "artifact/artifact.hpp"
 #include "core/engine.hpp"
+#include "util/cancellation.hpp"
+#include "util/fault_injection.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using namespace apss;
+
+/// Every typed failure maps to its own nonzero code so scripts can branch
+/// on WHAT failed, not just that something did.
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitRuntimeError = 1,
+  kExitUsage = 2,
+  kExitLoadError = 3,
+  kExitSearchFailed = 4,
+  kExitDeadline = 5,
+  kExitCancelled = 6,
+  kExitArtifactMismatch = 7,
+};
+
+/// SIGINT requests cooperative cancellation: the search stops at the next
+/// query-frame checkpoint and exits kExitCancelled instead of dying
+/// mid-write. (An atomic store; async-signal-safe.)
+util::CancellationToken g_cancel;
+
+void handle_sigint(int) { g_cancel.request_cancel(); }
 
 int run_pcre(const std::string& pattern, const std::string& text) {
   anml::AutomataNetwork net("cli-pcre");
@@ -62,33 +108,39 @@ int run_pcre(const std::string& pattern, const std::string& text) {
   const auto events = sim.run(bytes);
   if (events.empty()) {
     std::printf("no matches\n");
-    return 0;
+    return kExitOk;
   }
   for (const auto& e : events) {
     std::printf("match ending at offset %llu\n",
                 static_cast<unsigned long long>(e.cycle));
   }
-  return 0;
+  return kExitOk;
 }
 
 int run_anml(const std::string& path, const std::string& text) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
-    return 1;
+    return kExitLoadError;
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  const anml::AutomataNetwork net = anml::from_anml(buffer.str());
-  std::printf("loaded '%s': %zu elements, %zu edges\n", net.name().c_str(),
-              net.size(), net.edges().size());
-  apsim::Simulator sim(net, {8, true});  // permissive: all extensions on
+  std::optional<anml::AutomataNetwork> net;
+  try {
+    net.emplace(anml::from_anml(buffer.str()));
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "cannot parse %s: %s\n", path.c_str(), ex.what());
+    return kExitLoadError;
+  }
+  std::printf("loaded '%s': %zu elements, %zu edges\n", net->name().c_str(),
+              net->size(), net->edges().size());
+  apsim::Simulator sim(*net, {8, true});  // permissive: all extensions on
   const std::vector<std::uint8_t> bytes(text.begin(), text.end());
   for (const auto& e : sim.run(bytes)) {
     std::printf("report code=%u at cycle %llu\n", e.report_code,
                 static_cast<unsigned long long>(e.cycle));
   }
-  return 0;
+  return kExitOk;
 }
 
 /// Artifact-related knn flags (all need --backend=bit).
@@ -102,16 +154,31 @@ struct ArtifactFlags {
   }
 };
 
+/// Everything the knn subcommand's flags configure.
+struct KnnFlags {
+  core::SimulationBackend backend = core::SimulationBackend::kCycleAccurate;
+  std::size_t packing_group = 0;
+  std::size_t threads = 0;
+  std::size_t max_per_config = 0;
+  double deadline_ms = 0;
+  core::OnError on_error = core::OnError::kFailFast;
+  std::size_t max_retries = 2;
+  ArtifactFlags artifacts;
+};
+
 int run_knn(std::size_t dims, std::size_t n, std::size_t k,
-            std::uint64_t seed, core::SimulationBackend backend,
-            std::size_t packing_group, std::size_t threads,
-            const ArtifactFlags& artifacts) {
+            std::uint64_t seed, const KnnFlags& flags) {
   const auto data = knn::BinaryDataset::uniform(n, dims, seed);
   core::EngineOptions opt;
-  opt.backend = backend;
-  opt.packing_group_size = packing_group;
-  opt.threads = threads;
-  opt.artifact_cache_dir = artifacts.cache_dir;
+  opt.backend = flags.backend;
+  opt.packing_group_size = flags.packing_group;
+  opt.threads = flags.threads;
+  opt.max_vectors_per_config = flags.max_per_config;
+  opt.artifact_cache_dir = flags.artifacts.cache_dir;
+  opt.deadline_ms = flags.deadline_ms;
+  opt.cancel = &g_cancel;
+  opt.on_error = flags.on_error;
+  opt.max_retries = flags.max_retries;
   core::ApKnnEngine engine(data, opt);
   std::printf("threads: %zu simulation thread%s\n",
               engine.simulation_threads(),
@@ -120,10 +187,10 @@ int run_knn(std::size_t dims, std::size_t n, std::size_t k,
   std::printf("compiled %zu vectors x %zu bits%s: %zu STEs, %zu blocks, "
               "%s routed\n",
               n, dims,
-              packing_group > 0 ? " (vector-packed)" : "",
+              flags.packing_group > 0 ? " (vector-packed)" : "",
               placement.ste_count, placement.blocks_used,
               placement.routed ? "fully" : "PARTIALLY");
-  if (backend == core::SimulationBackend::kBitParallel) {
+  if (flags.backend == core::SimulationBackend::kBitParallel) {
     const core::BackendCompileStats& bs = engine.backend_stats();
     std::printf("backend: bit-parallel (%zu/%zu configurations compiled: "
                 "%zu hamming, %zu packed, %zu multiplexed)\n",
@@ -133,37 +200,40 @@ int run_knn(std::size_t dims, std::size_t n, std::size_t k,
       std::printf("  fallback x%zu -> cycle-accurate: %s\n", count,
                   why.c_str());
     }
-    if (!artifacts.cache_dir.empty()) {
-      std::printf("artifact cache: %zu hits, %zu misses, %zu invalidations\n",
+    if (!flags.artifacts.cache_dir.empty()) {
+      std::printf("artifact cache: %zu hits, %zu misses, %zu invalidations, "
+                  "%zu io-retries, %zu quarantined, %zu stale tmp swept\n",
                   bs.artifact.hits, bs.artifact.misses,
-                  bs.artifact.invalidations);
+                  bs.artifact.invalidations, bs.artifact.io_retries,
+                  bs.artifact.quarantined, bs.artifact.stale_tmp_swept);
     }
   } else {
     std::printf("backend: cycle-accurate\n");
   }
 
-  if (!artifacts.save_path.empty()) {
+  if (!flags.artifacts.save_path.empty()) {
     std::string error;
-    if (!engine.save_artifact(0, artifacts.save_path, &error)) {
+    if (!engine.save_artifact(0, flags.artifacts.save_path, &error)) {
       std::fprintf(stderr, "save-artifact: %s\n", error.c_str());
-      return 1;
+      return kExitLoadError;
     }
     std::printf("artifact: saved configuration 0 to %s\n",
-                artifacts.save_path.c_str());
+                flags.artifacts.save_path.c_str());
   }
-  if (!artifacts.load_path.empty()) {
-    const artifact::LoadResult loaded = artifact::load(artifacts.load_path);
+  if (!flags.artifacts.load_path.empty()) {
+    const artifact::LoadResult loaded =
+        artifact::load(flags.artifacts.load_path);
     if (!loaded) {
       std::fprintf(stderr, "load-artifact: %s: %s\n",
                    artifact::to_string(loaded.error.code),
                    loaded.error.detail.c_str());
-      return 1;
+      return kExitLoadError;
     }
     const artifact::ArtifactMeta& meta = loaded.artifact->meta;
     const apsim::BatchProgram& prog = *loaded.artifact->program;
     std::printf("artifact: loaded %s (builder %s, network '%s', %s family, "
                 "%zu lanes x %zu dims, key %016llx)\n",
-                artifacts.load_path.c_str(), meta.builder.c_str(),
+                flags.artifacts.load_path.c_str(), meta.builder.c_str(),
                 meta.network_name.c_str(), apsim::to_string(prog.family()),
                 prog.macro_count(), prog.dims(),
                 static_cast<unsigned long long>(meta.key_hash));
@@ -172,20 +242,32 @@ int run_knn(std::size_t dims, std::size_t n, std::size_t k,
       std::fprintf(stderr,
                    "load-artifact: configuration 0 has no bit-parallel "
                    "program to compare against\n");
-      return 1;
+      return kExitArtifactMismatch;
     }
     if (meta.key_hash != engine.artifact_key(0) ||
         !(prog.state() == fresh->state())) {
       std::fprintf(stderr,
                    "load-artifact: artifact does NOT match configuration 0 "
                    "(different dataset, options, or builder)\n");
-      return 1;
+      return kExitArtifactMismatch;
     }
     std::printf("artifact: matches configuration 0 bit-for-bit\n");
   }
 
   auto queries = knn::perturbed_queries(data, 1, 0.1, seed + 1);
-  const auto results = engine.search(queries, k);
+  std::vector<std::vector<knn::Neighbor>> results;
+  try {
+    results = engine.search(queries, k);
+  } catch (const util::DeadlineExceeded& ex) {
+    std::fprintf(stderr, "deadline exceeded: %s\n", ex.what());
+    return kExitDeadline;
+  } catch (const util::OperationCancelled& ex) {
+    std::fprintf(stderr, "cancelled: %s\n", ex.what());
+    return kExitCancelled;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "search failed: %s\n", ex.what());
+    return kExitSearchFailed;
+  }
   std::printf("query -> %zu nearest neighbors:\n", results[0].size());
   for (const auto& nb : results[0]) {
     std::printf("  vector %6u  distance %u\n", nb.id, nb.distance);
@@ -193,7 +275,26 @@ int run_knn(std::size_t dims, std::size_t n, std::size_t k,
   const auto& stats = engine.last_stats();
   std::printf("device cycles: %zu (%zu per query frame)\n",
               stats.simulated_cycles, stats.cycles_per_query);
-  return 0;
+  // Per-configuration fault-isolation outcomes: silent only when everything
+  // is healthy under the default policy.
+  const std::size_t surviving = stats.surviving_configurations();
+  if (surviving != stats.shard_status.size() ||
+      flags.on_error != core::OnError::kFailFast) {
+    std::printf("shards: %zu/%zu configurations survived (policy %s)\n",
+                surviving, stats.shard_status.size(),
+                core::to_string(flags.on_error));
+    for (std::size_t c = 0; c < stats.shard_status.size(); ++c) {
+      const core::ShardStatus& st = stats.shard_status[c];
+      if (st.state == core::ShardState::kOk && st.retries == 0) {
+        continue;
+      }
+      std::printf("  config %zu: %s (%u extra attempt%s)%s%s\n", c,
+                  core::to_string(st.state), st.retries,
+                  st.retries == 1 ? "" : "s", st.error.empty() ? "" : " - ",
+                  st.error.c_str());
+    }
+  }
+  return kExitOk;
 }
 
 void usage() {
@@ -202,14 +303,69 @@ void usage() {
                "  apss_cli pcre '<pattern>' '<text>'\n"
                "  apss_cli anml <file.anml> '<text>'\n"
                "  apss_cli knn <dims> <n> <k> [seed] [--backend=cycle|bit] "
-               "[--packing=<group>] [--threads=<N>] "
+               "[--packing=<group>] [--threads=<N>] [--max-per-config=<N>] "
                "[--artifact-cache=<dir>] [--save-artifact=<path>] "
-               "[--load-artifact=<path>]\n");
+               "[--load-artifact=<path>] [--deadline-ms=<ms>] "
+               "[--on-error=fail|isolate|retry[:N]] "
+               "[--inject-fault=<site>[:<hit>[:<count>[:<key>]]]]\n");
+}
+
+/// Strict non-negative integer parse (no signs, suffixes, empty values).
+bool parse_uint(const std::string& value, unsigned long long* out) {
+  if (value.empty() || value[0] < '0' || value[0] > '9') {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtoull(value.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+/// "--inject-fault=SITE[:HIT[:COUNT[:KEY]]]" -> arms the process-global
+/// fault injector before the engine is built, so the shell can drive any
+/// failure path (scripts/cli_exit_codes_test.sh).
+bool arm_injected_fault(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = spec.find(':', start);
+    parts.push_back(spec.substr(start, colon - start));
+    if (colon == std::string::npos) {
+      break;
+    }
+    start = colon + 1;
+  }
+  if (parts[0].empty() || parts.size() > 4) {
+    return false;
+  }
+  util::FaultInjector::Plan plan;
+  unsigned long long v = 0;
+  if (parts.size() > 1) {
+    if (!parse_uint(parts[1], &v) || v == 0) {
+      return false;
+    }
+    plan.fail_on_hit = v;
+  }
+  if (parts.size() > 2) {
+    if (!parse_uint(parts[2], &v) || v == 0) {
+      return false;
+    }
+    plan.fail_count = v;
+  }
+  if (parts.size() > 3) {
+    if (!parse_uint(parts[3], &v)) {
+      return false;
+    }
+    plan.match_key = static_cast<std::int64_t>(v);
+  }
+  plan.message = "injected via --inject-fault";
+  util::FaultInjector::instance().arm(parts[0], plan);
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::signal(SIGINT, handle_sigint);
   try {
     if (argc >= 4 && std::strcmp(argv[1], "pcre") == 0) {
       return run_pcre(argv[2], argv[3]);
@@ -221,94 +377,125 @@ int main(int argc, char** argv) {
       // knn accepts --flags anywhere after the subcommand; pcre/anml take
       // raw positionals only (patterns/text may legitimately start with --).
       std::vector<std::string> args;
-      core::SimulationBackend backend =
-          core::SimulationBackend::kCycleAccurate;
-      std::size_t packing_group = 0;
-      std::size_t threads = 0;
-      ArtifactFlags artifacts;
+      KnnFlags flags;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
+        unsigned long long v = 0;
         if (arg.rfind("--backend=", 0) == 0) {
           const std::string value = arg.substr(10);
           if (value == "bit" || value == "bit-parallel" ||
               value == "bit_parallel") {
-            backend = core::SimulationBackend::kBitParallel;
+            flags.backend = core::SimulationBackend::kBitParallel;
           } else if (value == "cycle" || value == "cycle-accurate") {
-            backend = core::SimulationBackend::kCycleAccurate;
+            flags.backend = core::SimulationBackend::kCycleAccurate;
           } else {
             std::fprintf(stderr, "unknown backend '%s'\n", value.c_str());
             usage();
-            return 2;
+            return kExitUsage;
           }
         } else if (arg.rfind("--packing=", 0) == 0) {
-          // Strict parse: no signs, suffixes, or empty values (std::stoul
-          // would accept "-1" and "4x").
-          const std::string value = arg.substr(10);
-          char* end = nullptr;
-          const unsigned long long v =
-              value.empty() || value[0] < '0' || value[0] > '9'
-                  ? 0
-                  : std::strtoull(value.c_str(), &end, 10);
-          if (v == 0 || end == nullptr || *end != '\0') {
+          if (!parse_uint(arg.substr(10), &v) || v == 0) {
             std::fprintf(stderr,
                          "--packing needs a positive integer group size\n");
             usage();
-            return 2;
+            return kExitUsage;
           }
-          packing_group = static_cast<std::size_t>(v);
+          flags.packing_group = static_cast<std::size_t>(v);
         } else if (arg.rfind("--threads=", 0) == 0) {
-          // 0 is legal here (= all hardware threads), so only reject
-          // non-numeric input.
-          const std::string value = arg.substr(10);
-          char* end = nullptr;
-          const unsigned long long v =
-              value.empty() || value[0] < '0' || value[0] > '9'
-                  ? ULLONG_MAX
-                  : std::strtoull(value.c_str(), &end, 10);
-          if (v == ULLONG_MAX || end == nullptr || *end != '\0') {
+          // 0 is legal here (= all hardware threads).
+          if (!parse_uint(arg.substr(10), &v)) {
             std::fprintf(stderr,
                          "--threads needs a non-negative integer "
                          "(0 = all hardware threads)\n");
             usage();
-            return 2;
+            return kExitUsage;
           }
-          threads = static_cast<std::size_t>(v);
+          flags.threads = static_cast<std::size_t>(v);
+        } else if (arg.rfind("--max-per-config=", 0) == 0) {
+          if (!parse_uint(arg.substr(17), &v) || v == 0) {
+            std::fprintf(stderr,
+                         "--max-per-config needs a positive integer\n");
+            usage();
+            return kExitUsage;
+          }
+          flags.max_per_config = static_cast<std::size_t>(v);
+        } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+          const std::string value = arg.substr(14);
+          char* end = nullptr;
+          const double ms =
+              value.empty() ? -1.0 : std::strtod(value.c_str(), &end);
+          if (ms <= 0 || end == nullptr || *end != '\0') {
+            std::fprintf(stderr,
+                         "--deadline-ms needs a positive duration in ms\n");
+            usage();
+            return kExitUsage;
+          }
+          flags.deadline_ms = ms;
+        } else if (arg.rfind("--on-error=", 0) == 0) {
+          const std::string value = arg.substr(11);
+          if (value == "fail" || value == "fail-fast") {
+            flags.on_error = core::OnError::kFailFast;
+          } else if (value == "isolate") {
+            flags.on_error = core::OnError::kIsolate;
+          } else if (value == "retry") {
+            flags.on_error = core::OnError::kRetry;
+          } else if (value.rfind("retry:", 0) == 0 &&
+                     parse_uint(value.substr(6), &v)) {
+            flags.on_error = core::OnError::kRetry;
+            flags.max_retries = static_cast<std::size_t>(v);
+          } else {
+            std::fprintf(stderr,
+                         "--on-error needs fail, isolate, or retry[:N]\n");
+            usage();
+            return kExitUsage;
+          }
+        } else if (arg.rfind("--inject-fault=", 0) == 0) {
+          if (!arm_injected_fault(arg.substr(15))) {
+            std::fprintf(stderr,
+                         "--inject-fault needs SITE[:HIT[:COUNT[:KEY]]]\n");
+            usage();
+            return kExitUsage;
+          }
         } else if (arg.rfind("--artifact-cache=", 0) == 0) {
-          artifacts.cache_dir = arg.substr(17);
+          flags.artifacts.cache_dir = arg.substr(17);
         } else if (arg.rfind("--save-artifact=", 0) == 0) {
-          artifacts.save_path = arg.substr(16);
+          flags.artifacts.save_path = arg.substr(16);
         } else if (arg.rfind("--load-artifact=", 0) == 0) {
-          artifacts.load_path = arg.substr(16);
+          flags.artifacts.load_path = arg.substr(16);
         } else if (arg.rfind("--", 0) == 0) {
           std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
           usage();
-          return 2;
+          return kExitUsage;
         } else {
           args.push_back(arg);
         }
       }
       if (args.size() < 3) {
         usage();
-        return 2;
+        return kExitUsage;
       }
       const auto dims = static_cast<std::size_t>(std::stoul(args[0]));
       const auto n = static_cast<std::size_t>(std::stoul(args[1]));
       const auto k = static_cast<std::size_t>(std::stoul(args[2]));
       const std::uint64_t seed = args.size() > 3 ? std::stoull(args[3]) : 1;
-      if (artifacts.any() &&
-          backend != core::SimulationBackend::kBitParallel) {
+      if (flags.artifacts.any() &&
+          flags.backend != core::SimulationBackend::kBitParallel) {
         std::fprintf(stderr,
                      "--artifact-cache/--save-artifact/--load-artifact need "
                      "--backend=bit (artifacts hold bit-parallel programs)\n");
-        return 2;
+        return kExitUsage;
       }
-      return run_knn(dims, n, k, seed, backend, packing_group, threads,
-                     artifacts);
+      return run_knn(dims, n, k, seed, flags);
     }
+  } catch (const std::invalid_argument& ex) {
+    // Typed argument rejections (bad sizes, impossible geometry, malformed
+    // numbers) share the usage exit code.
+    std::fprintf(stderr, "invalid arguments: %s\n", ex.what());
+    return kExitUsage;
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error: %s\n", ex.what());
-    return 1;
+    return kExitRuntimeError;
   }
   usage();
-  return 2;
+  return kExitUsage;
 }

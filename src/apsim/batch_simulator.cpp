@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <stdexcept>
 
+#include "util/fault_injection.hpp"
+
 namespace apss::apsim {
 
 const char* to_string(MacroFamily family) noexcept {
@@ -1127,6 +1129,33 @@ std::vector<ReportEvent> BatchSimulator::run_continue(
   const std::size_t first_new = reports_.size();
   for (const std::uint8_t symbol : stream) {
     step(symbol);
+  }
+  return {reports_.begin() + static_cast<std::ptrdiff_t>(first_new),
+          reports_.end()};
+}
+
+std::vector<ReportEvent> BatchSimulator::run(
+    std::span<const std::uint8_t> stream, const util::RunControl& control) {
+  reset();
+  return run_continue(stream, control);
+}
+
+std::vector<ReportEvent> BatchSimulator::run_continue(
+    std::span<const std::uint8_t> stream, const util::RunControl& control) {
+  if (!control.engaged() && !util::FaultInjector::armed()) {
+    return run_continue(stream);
+  }
+  const std::size_t first_new = reports_.size();
+  const std::uint64_t period =
+      control.checkpoint_period > 0 ? control.checkpoint_period : stream.size();
+  std::uint64_t since = 0;
+  for (const std::uint8_t symbol : stream) {
+    step(symbol);
+    if (++since >= period) {
+      since = 0;
+      control.checkpoint();
+      util::FaultInjector::check(util::kFaultBatchFrame, control.fault_key);
+    }
   }
   return {reports_.begin() + static_cast<std::ptrdiff_t>(first_new),
           reports_.end()};

@@ -266,6 +266,16 @@ class BatchSimulator {
   /// Simulator::run_continue.
   std::vector<ReportEvent> run_continue(std::span<const std::uint8_t> stream);
 
+  /// Checkpointed variants (same contract as Simulator::run(stream,
+  /// control)): poll the deadline/cancellation token every
+  /// `control.checkpoint_period` symbols and fire the "batch.frame" fault
+  /// site. Uninstrumented-loop cost when the control is idle and no fault
+  /// site is armed.
+  std::vector<ReportEvent> run(std::span<const std::uint8_t> stream,
+                               const util::RunControl& control);
+  std::vector<ReportEvent> run_continue(std::span<const std::uint8_t> stream,
+                                        const util::RunControl& control);
+
   std::uint64_t cycle() const noexcept { return cycle_; }
   const std::vector<ReportEvent>& reports() const noexcept { return reports_; }
   void clear_reports() { reports_.clear(); }

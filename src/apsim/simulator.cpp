@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/fault_injection.hpp"
+
 namespace apss::apsim {
 
 using anml::CounterPort;
@@ -344,6 +346,36 @@ std::vector<ReportEvent> Simulator::run_continue(
   const std::size_t first_new = reports_.size();
   for (const std::uint8_t symbol : stream) {
     step(symbol);
+  }
+  return {reports_.begin() + static_cast<std::ptrdiff_t>(first_new),
+          reports_.end()};
+}
+
+std::vector<ReportEvent> Simulator::run(std::span<const std::uint8_t> stream,
+                                        const util::RunControl& control) {
+  reset();
+  return run_continue(stream, control);
+}
+
+std::vector<ReportEvent> Simulator::run_continue(
+    std::span<const std::uint8_t> stream, const util::RunControl& control) {
+  // Checkpoints are pure cost when nothing can fire; fall back to the
+  // uninstrumented loop unless a deadline/token is live or a fault site
+  // is armed (frame-boundary granularity either way).
+  if (!control.engaged() && !util::FaultInjector::armed()) {
+    return run_continue(stream);
+  }
+  const std::size_t first_new = reports_.size();
+  const std::uint64_t period =
+      control.checkpoint_period > 0 ? control.checkpoint_period : stream.size();
+  std::uint64_t since = 0;
+  for (const std::uint8_t symbol : stream) {
+    step(symbol);
+    if (++since >= period) {
+      since = 0;
+      control.checkpoint();
+      util::FaultInjector::check(util::kFaultSimFrame, control.fault_key);
+    }
   }
   return {reports_.begin() + static_cast<std::ptrdiff_t>(first_new),
           reports_.end()};

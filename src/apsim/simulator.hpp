@@ -34,6 +34,7 @@
 
 #include "anml/network.hpp"
 #include "apsim/device.hpp"
+#include "util/cancellation.hpp"
 
 namespace apss::apsim {
 
@@ -97,6 +98,18 @@ class Simulator {
   /// Runs WITHOUT resetting first — streams are concatenable (back-to-back
   /// queries), matching how a host drives the real device.
   std::vector<ReportEvent> run_continue(std::span<const std::uint8_t> stream);
+
+  /// run()/run_continue() with cooperative checkpoints: every
+  /// `control.checkpoint_period` symbols (the engines pass one query frame)
+  /// the simulator polls the deadline/cancellation token — throwing
+  /// util::DeadlineExceeded / util::OperationCancelled mid-stream — and
+  /// fires the "sim.frame" fault site (util/fault_injection.hpp). With an
+  /// idle control and no armed injector this is the plain loop plus one
+  /// branch per call.
+  std::vector<ReportEvent> run(std::span<const std::uint8_t> stream,
+                               const util::RunControl& control);
+  std::vector<ReportEvent> run_continue(std::span<const std::uint8_t> stream,
+                                        const util::RunControl& control);
 
   // --- Introspection (used by traces and tests) ---------------------------
   std::uint64_t cycle() const noexcept { return cycle_; }

@@ -1,10 +1,53 @@
 #include "core/artifact_cache.hpp"
 
+#include <chrono>
+#include <filesystem>
+#include <system_error>
+#include <thread>
 #include <utility>
 
 #include "apsim/simulator.hpp"
+#include "util/fault_injection.hpp"
 
 namespace apss::core {
+namespace {
+
+/// Bounded exponential backoff for transient cache I/O: 1 + kIoRetries
+/// attempts, sleeping 1, 2, 4... ms between them. The cache is an
+/// optimization — after the budget it degrades to compile-every-time, it
+/// never fails the engine.
+constexpr std::size_t kIoRetries = 3;
+
+void backoff_sleep(std::size_t attempt) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1u << attempt));
+}
+
+/// Damage (vs. staleness): these codes mean the BYTES are bad, so the file
+/// is worth keeping for a post-mortem. kVersionMismatch and key mismatches
+/// are honest staleness — the artifact is fine, just not for us — and are
+/// plainly overwritten instead.
+bool is_corruption(artifact::LoadErrorCode code) noexcept {
+  switch (code) {
+    case artifact::LoadErrorCode::kTruncated:
+    case artifact::LoadErrorCode::kBadMagic:
+    case artifact::LoadErrorCode::kHashMismatch:
+    case artifact::LoadErrorCode::kMalformed:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Renames a damaged slot file aside (overwriting any earlier quarantine
+/// of the same slot — latest damage wins). Rename, not delete: the
+/// operator can inspect what corrupted. Best-effort; returns success.
+bool quarantine_slot(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::rename(path, path + ".quarantined", ec);
+  return !ec;
+}
+
+}  // namespace
 
 const char* to_string(ArtifactOutcome outcome) noexcept {
   switch (outcome) {
@@ -66,7 +109,24 @@ CachedProgram try_load_program(const std::string& path,
                                std::uint64_t expected_lanes,
                                std::uint64_t expected_dims) {
   CachedProgram out;
-  artifact::LoadResult loaded = artifact::load(path);
+  artifact::LoadResult loaded;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      util::FaultInjector::check(util::kFaultArtifactRead);
+      loaded = artifact::load(path);
+    } catch (const util::InjectedFault& fault) {
+      // The injector models a transient I/O failure; route it through the
+      // same typed-error path a real EIO would take.
+      loaded = artifact::LoadResult{};
+      loaded.error = {artifact::LoadErrorCode::kIoError, fault.what()};
+    }
+    if (loaded || loaded.error.code != artifact::LoadErrorCode::kIoError ||
+        attempt >= kIoRetries) {
+      break;
+    }
+    ++out.io_retries;
+    backoff_sleep(attempt);
+  }
   if (!loaded) {
     if (loaded.error.code == artifact::LoadErrorCode::kNotFound) {
       out.outcome = ArtifactOutcome::kMiss;
@@ -74,6 +134,9 @@ CachedProgram try_load_program(const std::string& path,
       out.outcome = ArtifactOutcome::kInvalidated;
       out.detail = std::string(artifact::to_string(loaded.error.code)) + ": " +
                    loaded.error.detail;
+      if (is_corruption(loaded.error.code)) {
+        out.quarantined = quarantine_slot(path);
+      }
     }
     return out;
   }
@@ -96,11 +159,51 @@ CachedProgram try_load_program(const std::string& path,
 
 bool store_program(const std::string& path, const artifact::ArtifactMeta& meta,
                    std::shared_ptr<const apsim::BatchProgram> program,
-                   std::string* error) {
+                   std::string* error, std::size_t* io_retries) {
   artifact::Artifact art;
   art.meta = meta;
   art.program = std::move(program);
-  return artifact::save(path, art, error);
+  for (std::size_t attempt = 0;; ++attempt) {
+    bool ok = false;
+    try {
+      util::FaultInjector::check(util::kFaultArtifactWrite);
+      ok = artifact::save(path, art, error);
+    } catch (const util::InjectedFault& fault) {
+      if (error != nullptr) {
+        *error = fault.what();
+      }
+    }
+    if (ok || attempt >= kIoRetries) {
+      return ok;
+    }
+    if (io_retries != nullptr) {
+      ++*io_retries;
+    }
+    backoff_sleep(attempt);
+  }
+}
+
+std::size_t sweep_stale_artifact_tmp(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return 0;
+  }
+  std::size_t swept = 0;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    // Only the save path's own temp pattern ("<slot>.apss-art.tmp.<n>"):
+    // anything else in the directory — including quarantined slots — is
+    // not ours to touch.
+    if (name.find(".apss-art.tmp.") == std::string::npos) {
+      continue;
+    }
+    std::error_code remove_ec;
+    if (std::filesystem::remove(entry.path(), remove_ec) && !remove_ec) {
+      ++swept;
+    }
+  }
+  return swept;
 }
 
 }  // namespace apss::core

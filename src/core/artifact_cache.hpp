@@ -52,10 +52,23 @@ struct ArtifactCacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
   std::size_t invalidations = 0;
+  /// Transient-I/O retry attempts (load and save; bounded exponential
+  /// backoff, docs/ROBUSTNESS.md "Cache retry protocol").
+  std::size_t io_retries = 0;
+  /// Corrupt slot files renamed to "<slot>.quarantined" — kept for
+  /// post-mortems, never deleted — before the recompile overwrote the slot.
+  std::size_t quarantined = 0;
+  /// Leaked "*.apss-art.tmp.*" files (a crash between write and rename)
+  /// swept when the cache directory was opened.
+  std::size_t stale_tmp_swept = 0;
 
   bool operator==(const ArtifactCacheStats&) const = default;
 
-  bool any() const noexcept { return hits + misses + invalidations > 0; }
+  bool any() const noexcept {
+    return hits + misses + invalidations + io_retries + quarantined +
+               stale_tmp_swept >
+           0;
+  }
 
   void record(ArtifactOutcome outcome) noexcept {
     switch (outcome) {
@@ -71,6 +84,15 @@ struct ArtifactCacheStats {
         ++invalidations;
         break;
     }
+  }
+
+  void merge(const ArtifactCacheStats& o) noexcept {
+    hits += o.hits;
+    misses += o.misses;
+    invalidations += o.invalidations;
+    io_retries += o.io_retries;
+    quarantined += o.quarantined;
+    stale_tmp_swept += o.stale_tmp_swept;
   }
 };
 
@@ -100,19 +122,39 @@ struct CachedProgram {
   /// Why the artifact was invalidated (typed load error or key/shape
   /// mismatch); empty on hit/miss.
   std::string detail;
+  /// Transient-I/O retry attempts spent on this load.
+  std::size_t io_retries = 0;
+  /// True when a corrupt slot file was renamed aside (never deleted).
+  bool quarantined = false;
 };
 
 /// Loads the artifact at `path` and validates it against the expected
 /// compile-input key and program shape. kNotFound => kMiss; any other load
 /// error, a key mismatch, or a shape mismatch => kInvalidated.
+///
+/// Robustness (docs/ROBUSTNESS.md): transient I/O errors — including the
+/// "artifact.read" fault site — are retried with bounded exponential
+/// backoff before the load degrades to kInvalidated (compile fresh); a
+/// slot file rejected as CORRUPT (truncated / bad magic / hash mismatch /
+/// malformed) is QUARANTINED by renaming it to "<path>.quarantined" so the
+/// bytes survive for a post-mortem while the recompile overwrites the slot.
 CachedProgram try_load_program(const std::string& path,
                                std::uint64_t expected_key,
                                std::uint64_t expected_lanes,
                                std::uint64_t expected_dims);
 
-/// Saves `program` + `meta` to `path` (atomic, see artifact::save).
+/// Saves `program` + `meta` to `path` (atomic, see artifact::save), with
+/// the same bounded-backoff retry on failure (and the "artifact.write"
+/// fault site). `io_retries`, when non-null, receives the attempts spent.
 bool store_program(const std::string& path, const artifact::ArtifactMeta& meta,
                    std::shared_ptr<const apsim::BatchProgram> program,
-                   std::string* error = nullptr);
+                   std::string* error = nullptr,
+                   std::size_t* io_retries = nullptr);
+
+/// Removes "*.apss-art.tmp.*" files from `dir` — temp files leaked when a
+/// save crashed between write and rename — and returns how many were
+/// swept. Called when an engine opens a cache directory; counted in
+/// ArtifactCacheStats::stale_tmp_swept. Quarantined files are NOT swept.
+std::size_t sweep_stale_artifact_tmp(const std::string& dir);
 
 }  // namespace apss::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <mutex>
 #include <stdexcept>
 #include <string_view>
 #include <system_error>
@@ -9,6 +10,7 @@
 #include "anml/anml_io.hpp"
 #include "core/batch_compile.hpp"
 #include "core/temporal_decode.hpp"
+#include "util/fault_injection.hpp"
 #include "util/fnv.hpp"
 
 namespace apss::core {
@@ -19,7 +21,54 @@ namespace {
 /// other even from a shared cache directory.
 constexpr std::string_view kEngineBuilder = "apss-knn-engine";
 
+/// Worst-wins ordering for reducing shard outcomes to one per-configuration
+/// state: a hard failure outranks cancellation outranks timeout outranks
+/// degradation outranks ok.
+int severity(ShardState state) noexcept {
+  switch (state) {
+    case ShardState::kOk:
+      return 0;
+    case ShardState::kDegraded:
+      return 1;
+    case ShardState::kTimedOut:
+      return 2;
+    case ShardState::kCancelled:
+      return 3;
+    case ShardState::kFailed:
+      return 4;
+  }
+  return 4;
+}
+
 }  // namespace
+
+const char* to_string(OnError policy) noexcept {
+  switch (policy) {
+    case OnError::kFailFast:
+      return "fail-fast";
+    case OnError::kIsolate:
+      return "isolate";
+    case OnError::kRetry:
+      return "retry";
+  }
+  return "unknown";
+}
+
+const char* to_string(ShardState state) noexcept {
+  switch (state) {
+    case ShardState::kOk:
+      return "ok";
+    case ShardState::kDegraded:
+      return "degraded";
+    case ShardState::kTimedOut:
+      return "timed-out";
+    case ShardState::kCancelled:
+      return "cancelled";
+    case ShardState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
 
 ApKnnEngine::ApKnnEngine(knn::BinaryDataset dataset, EngineOptions options)
     : dataset_(std::move(dataset)), options_(options) {
@@ -105,13 +154,16 @@ ApKnnEngine::ApKnnEngine(knn::BinaryDataset dataset, EngineOptions options)
           "ApKnnEngine: cannot create artifact cache directory " +
           options_.artifact_cache_dir + ": " + ec.message());
     }
+    // A crash between a slot file's temp write and its rename leaks
+    // "*.apss-art.tmp.*" files; sweep them now that the directory is ours.
+    compile_stats_.artifact.stale_tmp_swept =
+        sweep_stale_artifact_tmp(options_.artifact_cache_dir);
   }
   const apsim::SimOptions sim_options =
       apsim::SimOptions::from(options_.device.features);
   partitions_.resize((dataset_.size() + capacity_ - 1) / capacity_);
   std::vector<std::string> decline_reasons(partitions_.size());
-  std::vector<ArtifactOutcome> outcomes(partitions_.size(),
-                                        ArtifactOutcome::kDisabled);
+  std::vector<ArtifactCacheStats> cache_stats(partitions_.size());
   const auto build_partition = [&](std::size_t c) {
     Partition& p = partitions_[c];
     p.begin = c * capacity_;
@@ -120,7 +172,9 @@ ApKnnEngine::ApKnnEngine(knn::BinaryDataset dataset, EngineOptions options)
       CachedProgram cached =
           try_load_program(artifact_cache_file(c), artifact_key(c), p.count,
                            dataset_.dims());
-      outcomes[c] = cached.outcome;
+      cache_stats[c].record(cached.outcome);
+      cache_stats[c].io_retries += cached.io_retries;
+      cache_stats[c].quarantined += cached.quarantined ? 1 : 0;
       if (cached.outcome == ArtifactOutcome::kHit) {
         p.program = std::move(cached.program);
         return;
@@ -138,7 +192,10 @@ ApKnnEngine::ApKnnEngine(knn::BinaryDataset dataset, EngineOptions options)
       if (cache_enabled && p.program != nullptr) {
         // Best-effort: an unwritable cache degrades to compile-every-time,
         // it never fails construction.
-        store_program(artifact_cache_file(c), artifact_meta(p), p.program);
+        std::size_t store_retries = 0;
+        store_program(artifact_cache_file(c), artifact_meta(p), p.program,
+                      nullptr, &store_retries);
+        cache_stats[c].io_retries += store_retries;
       }
     }
   };
@@ -157,7 +214,7 @@ ApKnnEngine::ApKnnEngine(knn::BinaryDataset dataset, EngineOptions options)
   for (std::size_t c = 0; c < partitions_.size(); ++c) {
     const Partition& p = partitions_[c];
     ++compile_stats_.configurations;
-    compile_stats_.artifact.record(outcomes[c]);
+    compile_stats_.artifact.merge(cache_stats[c]);
     if (p.program != nullptr) {
       ++compile_stats_.bit_parallel;
       switch (p.program->family()) {
@@ -360,6 +417,27 @@ std::vector<std::vector<knn::Neighbor>> ApKnnEngine::search(
   const SymbolStreamEncoder encoder(spec_);
   const apsim::SimOptions sim_options =
       apsim::SimOptions::from(options_.device.features);
+
+  // Fault-tolerance plumbing (docs/ROBUSTNESS.md). The deadline starts
+  // here — it budgets the whole search — and every shard polls it (plus the
+  // cancellation token) at query-frame boundaries inside the simulators.
+  // Per-shard outcomes are recorded into a pre-sized vector (no locking,
+  // no ordering dependence) and reduced per configuration after the run.
+  util::Deadline deadline;
+  if (options_.deadline_ms > 0) {
+    deadline = util::Deadline::after_ms(options_.deadline_ms);
+  }
+  struct ShardOutcome {
+    ShardState state = ShardState::kOk;
+    std::string error;
+    std::uint32_t retries = 0;
+  };
+  std::vector<ShardOutcome> outcomes(shards.size());
+  // Degrading a shard of an artifact-cache-hit configuration needs the
+  // automata network, which was never built; the lazy rebuild mutates the
+  // partition, so it is serialized (plain runs never take this lock).
+  std::mutex degrade_mutex;
+
   // Each worker owns its simulator scratch state and reuses it across the
   // consecutive shards of its chunk while they stay on one configuration —
   // the cycle-accurate simulator's construction (a full validation pass)
@@ -368,34 +446,115 @@ std::vector<std::vector<knn::Neighbor>> ApKnnEngine::search(
   const auto run_shards = [&](std::size_t lo, std::size_t hi) {
     constexpr std::size_t kNoConfig = static_cast<std::size_t>(-1);
     std::size_t sim_config = kNoConfig;
+    bool sim_is_batch = false;
     std::unique_ptr<apsim::Simulator> reference;
     std::unique_ptr<apsim::BatchSimulator> batch;
     std::vector<std::uint8_t> stream;
-    for (std::size_t t = lo; t < hi; ++t) {
-      Shard& shard = shards[t];
-      const Partition& part = partitions_[shard.config];
-      if (shard.config != sim_config) {
+    // One attempt at simulating `shard`: checkpoint (deadline/cancel), fire
+    // the shard-entry fault site, simulate, decode, rebase. Throws on any
+    // failure; `force_reference` is the degrade path (cycle-accurate rerun
+    // of a bit-parallel configuration — bit-identical events, just slower).
+    const auto run_attempt = [&](Shard& shard, const Partition& part,
+                                 const util::RunControl& ctl,
+                                 bool force_reference) {
+      ctl.checkpoint();
+      util::FaultInjector::check(util::kFaultEngineShard, ctl.fault_key);
+      const bool use_batch = part.program != nullptr && !force_reference;
+      if (shard.config != sim_config || use_batch != sim_is_batch) {
         reference.reset();
         batch.reset();
-        if (part.program != nullptr) {
+        if (use_batch) {
           batch = std::make_unique<apsim::BatchSimulator>(part.program);
+        } else if (part.program != nullptr) {
+          // Degrade path: the network may be absent (cache hit skipped
+          // construction) and other workers may degrade shards of the same
+          // configuration concurrently.
+          std::lock_guard<std::mutex> lock(degrade_mutex);
+          ensure_network(part);
+          reference = std::make_unique<apsim::Simulator>(*part.network,
+                                                         sim_options);
         } else {
           reference = std::make_unique<apsim::Simulator>(*part.network,
                                                          sim_options);
         }
         sim_config = shard.config;
+        sim_is_batch = use_batch;
       }
       stream.clear();
       stream.reserve(shard.q_count * spec_.cycles_per_query());
       for (std::size_t i = 0; i < shard.q_count; ++i) {
         encoder.append_query(queries.row(shard.q_begin + i), stream);
       }
-      shard.events =
-          batch != nullptr ? batch->run(stream) : reference->run(stream);
+      shard.events = batch != nullptr ? batch->run(stream, ctl)
+                                      : reference->run(stream, ctl);
       const TemporalSortDecoder decoder(spec_, shard.q_count);
       shard.partial = decoder.decode(shard.events, k);
       apsim::rebase_events(shard.events,
                            shard.q_begin * spec_.cycles_per_query());
+    };
+    for (std::size_t t = lo; t < hi; ++t) {
+      Shard& shard = shards[t];
+      const Partition& part = partitions_[shard.config];
+      util::RunControl ctl;
+      ctl.deadline = &deadline;
+      ctl.cancel = options_.cancel;
+      ctl.checkpoint_period = spec_.cycles_per_query();
+      ctl.fault_key = static_cast<std::int64_t>(shard.config);
+      if (options_.on_error == OnError::kFailFast) {
+        // The pre-fault-tolerance path, byte for byte: nothing is caught
+        // here, so the first failure unwinds through the pool's
+        // first-exception rethrow to the caller.
+        run_attempt(shard, part, ctl, /*force_reference=*/false);
+        continue;
+      }
+      ShardOutcome& out = outcomes[t];
+      std::size_t retries_left =
+          options_.on_error == OnError::kRetry ? options_.max_retries : 0;
+      bool degraded = false;
+      for (;;) {
+        try {
+          run_attempt(shard, part, ctl, /*force_reference=*/degraded);
+          if (degraded) {
+            out.state = ShardState::kDegraded;
+          } else {
+            out.state = ShardState::kOk;
+            out.error.clear();  // recovered by a plain retry
+          }
+          break;
+        } catch (const util::DeadlineExceeded& e) {
+          // The budget is gone; retrying could only blow past it further.
+          out.state = ShardState::kTimedOut;
+          if (out.error.empty()) {
+            out.error = e.what();
+          }
+          break;
+        } catch (const util::OperationCancelled& e) {
+          out.state = ShardState::kCancelled;
+          if (out.error.empty()) {
+            out.error = e.what();
+          }
+          break;
+        } catch (const std::exception& e) {
+          if (out.error.empty()) {
+            out.error = e.what();
+          }
+          // A failed attempt may leave the cached simulator mid-stream;
+          // force reconstruction before any further attempt or shard.
+          sim_config = kNoConfig;
+          if (retries_left > 0) {
+            --retries_left;
+            ++out.retries;
+            continue;
+          }
+          if (!degraded && part.program != nullptr) {
+            degraded = true;
+            ++out.retries;
+            continue;
+          }
+          out.state = ShardState::kFailed;
+          break;
+        }
+      }
     }
   };
 
@@ -405,13 +564,39 @@ std::vector<std::vector<knn::Neighbor>> ApKnnEngine::search(
     run_shards(0, shards.size());
   }
 
+  // Reduce shard outcomes to one status per configuration (worst state
+  // wins; first error in shard order is kept; retries accumulate). A
+  // configuration SURVIVES when every shard is kOk or kDegraded —
+  // anything else poisons it: partial per-query lists would silently rank
+  // neighbors against an incomplete candidate set.
+  stats_.shard_status.assign(partitions_.size(), ShardStatus{});
+  for (std::size_t t = 0; t < shards.size(); ++t) {
+    ShardStatus& status = stats_.shard_status[shards[t].config];
+    const ShardOutcome& out = outcomes[t];
+    if (severity(out.state) > severity(status.state)) {
+      status.state = out.state;
+    }
+    if (status.error.empty() && !out.error.empty()) {
+      status.error = out.error;
+    }
+    status.retries += out.retries;
+  }
+  const auto survives = [&](std::size_t c) {
+    const ShardState s = stats_.shard_status[c].state;
+    return s == ShardState::kOk || s == ShardState::kDegraded;
+  };
+
   // Host-side merge across configurations (Sec. III-C: the host tracks
   // intermediary per-query results between reconfigurations). Shards are
   // walked in configuration/frame order on this thread, so stats
   // accumulation, the merged report stream, and the per-query lists are
-  // bit-identical at any thread count.
+  // bit-identical at any thread count. Non-surviving configurations are
+  // skipped wholesale, so what remains equals a run without them.
   std::vector<std::vector<knn::Neighbor>> results(q);
   for (Shard& shard : shards) {
+    if (!survives(shard.config)) {
+      continue;
+    }
     stats_.report_events += shard.events.size();
     if (options_.collect_report_stream) {
       report_stream_.insert(report_stream_.end(), shard.events.begin(),
@@ -421,6 +606,10 @@ std::vector<std::vector<knn::Neighbor>> ApKnnEngine::search(
       auto& dst = results[shard.q_begin + i];
       dst.insert(dst.end(), shard.partial[i].begin(), shard.partial[i].end());
     }
+  }
+  const std::size_t surviving = stats_.surviving_configurations();
+  if (surviving != partitions_.size()) {
+    stats_.simulated_cycles = q * stats_.cycles_per_query * surviving;
   }
   const std::size_t want = std::min(k, dataset_.size());
   for (auto& list : results) {

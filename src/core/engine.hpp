@@ -21,6 +21,7 @@
 #include "core/stream.hpp"
 #include "knn/dataset.hpp"
 #include "knn/exact.hpp"
+#include "util/cancellation.hpp"
 #include "util/thread_pool.hpp"
 
 namespace apss::apsim {
@@ -42,6 +43,57 @@ enum class SimulationBackend {
   /// falls back to the cycle-accurate simulator, per configuration, with
   /// the decline reason recorded in EngineStats::backend.
   kBitParallel,
+};
+
+/// What search() does when a shard (configuration x query-frame range)
+/// fails, times out, or is cancelled (docs/ROBUSTNESS.md).
+enum class OnError : std::uint8_t {
+  /// The first failure aborts the whole search: the exception unwinds to
+  /// the caller through the pool's first-exception rethrow. The default —
+  /// and byte-for-byte the pre-fault-tolerance behavior.
+  kFailFast,
+  /// Failed/timed-out/cancelled configurations are skipped; surviving
+  /// configurations return normally with bit-identical results and report
+  /// streams. Failures are reported per configuration in
+  /// EngineStats::shard_status, never raised.
+  kIsolate,
+  /// Like kIsolate, but each failing shard is first retried up to
+  /// EngineOptions::max_retries times (deadline expiry and cancellation
+  /// are never retried — the budget is already gone).
+  kRetry,
+};
+
+const char* to_string(OnError policy) noexcept;
+
+/// Terminal state of one configuration after search() (worst state over
+/// the configuration's shards).
+enum class ShardState : std::uint8_t {
+  kOk,        ///< every shard simulated on its primary backend
+  /// The bit-parallel backend failed mid-search and the configuration was
+  /// re-simulated on the cycle-accurate reference: results are still exact
+  /// and bit-identical, just slower — degradation, not loss.
+  kDegraded,
+  kTimedOut,   ///< abandoned at a checkpoint after the deadline expired
+  kCancelled,  ///< abandoned after CancellationToken::request_cancel()
+  kFailed,     ///< a typed error survived every retry and fallback
+};
+
+const char* to_string(ShardState state) noexcept;
+
+/// Per-configuration outcome of the last search(), surfaced through
+/// EngineStats::shard_status and printed by apss_cli. Under kIsolate /
+/// kRetry a non-ok state never aborts the search; under kFailFast the
+/// first failure throws instead and statuses stay kOk.
+struct ShardStatus {
+  ShardState state = ShardState::kOk;
+  /// First typed failure message observed for this configuration (empty
+  /// when kOk; retained for kDegraded so the original fault stays visible).
+  std::string error;
+  /// Extra attempts spent on this configuration's shards (retries plus the
+  /// degrade-to-cycle-accurate attempt).
+  std::uint32_t retries = 0;
+
+  bool operator==(const ShardStatus&) const = default;
 };
 
 /// Per-configuration compile outcome of the bit-parallel backend: which
@@ -114,6 +166,21 @@ struct EngineOptions {
   /// EngineStats::backend.artifact. Empty (default) disables the cache; the
   /// kCycleAccurate backend ignores it (nothing is compiled).
   std::string artifact_cache_dir;
+  /// Wall-clock budget for one search() in milliseconds (0 = unlimited).
+  /// The deadline starts when search() is entered and is polled
+  /// cooperatively at query-frame boundaries, so an expired deadline
+  /// terminates within one frame of extra simulation. Expiry surfaces as
+  /// util::DeadlineExceeded (kFailFast) or ShardState::kTimedOut
+  /// (kIsolate/kRetry).
+  double deadline_ms = 0;
+  /// Optional external cancellation, polled at the same checkpoints.
+  /// Surfaces as util::OperationCancelled / ShardState::kCancelled. The
+  /// token must outlive every search() that uses it.
+  const util::CancellationToken* cancel = nullptr;
+  /// Failure policy for search() shards (docs/ROBUSTNESS.md).
+  OnError on_error = OnError::kFailFast;
+  /// kRetry only: extra attempts per shard before the degrade/fail path.
+  std::size_t max_retries = 2;
 };
 
 /// Cycle/report accounting for the device-time model (Sec. V).
@@ -126,8 +193,31 @@ struct EngineStats {
   std::size_t report_events = 0;
   /// Which backend compiled each configuration (and why any fell back).
   BackendCompileStats backend;
+  /// Per-configuration fault-isolation outcome of the last search() (empty
+  /// for project()). All-kOk in every healthy run; with an expired deadline
+  /// or OnError::kIsolate/kRetry this is where failures are reported —
+  /// simulated_cycles and report_events then count the SURVIVING
+  /// configurations only.
+  std::vector<ShardStatus> shard_status;
 
   bool operator==(const EngineStats&) const = default;
+
+  /// Configurations whose results are in the returned neighbor lists
+  /// (kOk + kDegraded).
+  std::size_t surviving_configurations() const noexcept {
+    std::size_t n = 0;
+    for (const ShardStatus& s : shard_status) {
+      n += s.state == ShardState::kOk || s.state == ShardState::kDegraded;
+    }
+    return shard_status.empty() ? configurations : n;
+  }
+  std::size_t count_state(ShardState state) const noexcept {
+    std::size_t n = 0;
+    for (const ShardStatus& s : shard_status) {
+      n += s.state == state;
+    }
+    return n;
+  }
 
   /// Backend-independent accounting equality: the two backends must do the
   /// SAME device work (cycles, reports, splits) even though `backend`

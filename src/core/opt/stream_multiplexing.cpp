@@ -11,6 +11,7 @@
 #include "apsim/simulator.hpp"
 #include "core/batch_compile.hpp"
 #include "core/temporal_decode.hpp"
+#include "util/fault_injection.hpp"
 #include "util/fnv.hpp"
 
 namespace apss::core {
@@ -156,6 +157,14 @@ std::uint64_t MultiplexedKnn::artifact_key() const {
 std::vector<std::vector<knn::Neighbor>> MultiplexedKnn::search(
     const knn::BinaryDataset& queries, std::size_t k, util::ThreadPool* pool,
     std::vector<apsim::ReportEvent>* merged_events) const {
+  return search(queries, k, pool, merged_events, MuxSearchOptions{});
+}
+
+std::vector<std::vector<knn::Neighbor>> MultiplexedKnn::search(
+    const knn::BinaryDataset& queries, std::size_t k, util::ThreadPool* pool,
+    std::vector<apsim::ReportEvent>* merged_events,
+    const MuxSearchOptions& options,
+    std::vector<ShardStatus>* frame_status) const {
   if (queries.dims() != data_.dims()) {
     throw std::invalid_argument("MultiplexedKnn::search: dims mismatch");
   }
@@ -164,6 +173,17 @@ std::vector<std::vector<knn::Neighbor>> MultiplexedKnn::search(
   }
   const MultiplexedStreamEncoder encoder(spec_);
   const std::size_t frames = frames_for(queries.size());
+
+  // Fault-tolerance plumbing mirrors ApKnnEngine::search with the FRAME as
+  // the isolation unit (docs/ROBUSTNESS.md): the deadline/token are polled
+  // at frame boundaries, the "mux.frame" fault site fires at each frame
+  // attempt keyed by frame index (deterministic at any thread count), and
+  // per-frame statuses are recorded lock-free into a pre-sized vector.
+  util::Deadline deadline;
+  if (options.deadline_ms > 0) {
+    deadline = util::Deadline::after_ms(options.deadline_ms);
+  }
+  std::vector<ShardStatus> statuses(frames);
 
   // Frames reset the automata, so they simulate independently: per-frame
   // ReportEvent buffers, filled serially or by frame-range shards on the
@@ -175,17 +195,81 @@ std::vector<std::vector<knn::Neighbor>> MultiplexedKnn::search(
   const auto run_frames = [&](std::size_t lo, std::size_t hi) {
     std::unique_ptr<apsim::Simulator> reference;
     std::unique_ptr<apsim::BatchSimulator> batch;
-    if (program_ != nullptr) {
-      batch = std::make_unique<apsim::BatchSimulator>(program_);
-    } else {
-      reference = std::make_unique<apsim::Simulator>(network_);
-    }
-    for (std::size_t f = lo; f < hi; ++f) {
+    const auto run_attempt = [&](std::size_t f, const util::RunControl& ctl,
+                                 bool force_reference) {
+      ctl.checkpoint();
+      util::FaultInjector::check(util::kFaultMuxFrame, ctl.fault_key);
+      const bool use_batch = program_ != nullptr && !force_reference;
+      if (use_batch && batch == nullptr) {
+        batch = std::make_unique<apsim::BatchSimulator>(program_);
+      } else if (!use_batch && reference == nullptr) {
+        reference = std::make_unique<apsim::Simulator>(network_);
+      }
       const std::size_t begin = f * slices_;
       const std::size_t count = std::min(slices_, queries.size() - begin);
       const auto frame = encoder.encode_group(queries, begin, count);
       frame_events[f] =
-          batch != nullptr ? batch->run(frame) : reference->run(frame);
+          use_batch ? batch->run(frame, ctl) : reference->run(frame, ctl);
+    };
+    for (std::size_t f = lo; f < hi; ++f) {
+      util::RunControl ctl;
+      ctl.deadline = &deadline;
+      ctl.cancel = options.cancel;
+      ctl.checkpoint_period = spec_.cycles_per_query();
+      ctl.fault_key = static_cast<std::int64_t>(f);
+      if (options.on_error == OnError::kFailFast) {
+        // Pre-fault-tolerance path, byte for byte: nothing caught, the
+        // first failure unwinds through the pool's first-exception rethrow.
+        run_attempt(f, ctl, /*force_reference=*/false);
+        continue;
+      }
+      ShardStatus& out = statuses[f];
+      std::size_t retries_left =
+          options.on_error == OnError::kRetry ? options.max_retries : 0;
+      bool degraded = false;
+      for (;;) {
+        try {
+          run_attempt(f, ctl, /*force_reference=*/degraded);
+          if (degraded) {
+            out.state = ShardState::kDegraded;
+          } else {
+            out.state = ShardState::kOk;
+            out.error.clear();  // recovered by a plain retry
+          }
+          break;
+        } catch (const util::DeadlineExceeded& e) {
+          out.state = ShardState::kTimedOut;
+          if (out.error.empty()) {
+            out.error = e.what();
+          }
+          break;
+        } catch (const util::OperationCancelled& e) {
+          out.state = ShardState::kCancelled;
+          if (out.error.empty()) {
+            out.error = e.what();
+          }
+          break;
+        } catch (const std::exception& e) {
+          if (out.error.empty()) {
+            out.error = e.what();
+          }
+          // A failed attempt may leave a simulator mid-stream; rebuild.
+          batch.reset();
+          reference.reset();
+          if (retries_left > 0) {
+            --retries_left;
+            ++out.retries;
+            continue;
+          }
+          if (!degraded && program_ != nullptr) {
+            degraded = true;
+            ++out.retries;
+            continue;
+          }
+          out.state = ShardState::kFailed;
+          break;
+        }
+      }
     }
   };
   if (pool != nullptr && frames > 1) {
@@ -199,12 +283,18 @@ std::vector<std::vector<knn::Neighbor>> MultiplexedKnn::search(
   }
 
   // Merge in frame order on this thread — bit-identical demux and event
-  // stream at any thread count.
+  // stream at any thread count. Frames that did not survive are skipped
+  // wholesale: their queries return empty lists, every surviving frame
+  // demuxes exactly as it would in an uninjected run.
   if (merged_events != nullptr) {
     merged_events->clear();
   }
   std::vector<std::vector<knn::Neighbor>> results(queries.size());
   for (std::size_t f = 0; f < frames; ++f) {
+    if (statuses[f].state != ShardState::kOk &&
+        statuses[f].state != ShardState::kDegraded) {
+      continue;
+    }
     const std::size_t begin = f * slices_;
     const std::size_t count = std::min(slices_, queries.size() - begin);
     // Demux: slice s belongs to query begin+s.
@@ -232,6 +322,9 @@ std::vector<std::vector<knn::Neighbor>> MultiplexedKnn::search(
     if (list.size() > want) {
       list.resize(want);
     }
+  }
+  if (frame_status != nullptr) {
+    *frame_status = std::move(statuses);
   }
   return results;
 }

@@ -60,6 +60,22 @@ class MultiplexedStreamEncoder {
   StreamSpec spec_;
 };
 
+/// Fault-tolerance knobs for MultiplexedKnn::search (docs/ROBUSTNESS.md) —
+/// the multiplexed mirror of the EngineOptions deadline/on_error fields.
+/// Isolation granularity is the query FRAME (up to 7 queries): a frame that
+/// fails under OnError::kIsolate/kRetry is skipped and its queries return
+/// empty neighbor lists while every surviving frame demuxes bit-identically.
+struct MuxSearchOptions {
+  /// Wall-clock budget for one search() in ms (0 = unlimited), polled at
+  /// frame boundaries.
+  double deadline_ms = 0;
+  /// Optional external cancellation; must outlive the search.
+  const util::CancellationToken* cancel = nullptr;
+  OnError on_error = OnError::kFailFast;
+  /// kRetry only: extra attempts per frame before the degrade/fail path.
+  std::size_t max_retries = 2;
+};
+
 /// End-to-end multiplexed kNN on one board configuration: builds the
 /// slice-replicated network, streams 7 queries per frame, and demuxes
 /// reports back to per-query neighbor lists. Used by tests and the Fig. 6
@@ -97,6 +113,19 @@ class MultiplexedKnn {
       const knn::BinaryDataset& queries, std::size_t k,
       util::ThreadPool* pool = nullptr,
       std::vector<apsim::ReportEvent>* merged_events = nullptr) const;
+
+  /// Fault-tolerant search: like the overload above plus a deadline,
+  /// cooperative cancellation, and a per-FRAME failure policy. With
+  /// `frame_status` non-null it receives one ShardStatus per query frame
+  /// (all kOk on a healthy run; under kFailFast failures throw instead and
+  /// the statuses of already-run frames stay kOk). A bit-parallel frame
+  /// that fails is re-attempted on the cycle-accurate reference
+  /// (kDegraded, bit-identical events) before it is declared kFailed.
+  std::vector<std::vector<knn::Neighbor>> search(
+      const knn::BinaryDataset& queries, std::size_t k, util::ThreadPool* pool,
+      std::vector<apsim::ReportEvent>* merged_events,
+      const MuxSearchOptions& options,
+      std::vector<ShardStatus>* frame_status = nullptr) const;
 
   const anml::AutomataNetwork& network() const noexcept { return network_; }
   std::size_t slices() const noexcept { return slices_; }

@@ -1,0 +1,95 @@
+#include "util/fault_injection.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace apss::util {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(std::string_view site, Plan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::find_if(sites_.begin(), sites_.end(), [&](const Site& s) {
+    return s.name == site;
+  });
+  if (it != sites_.end()) {
+    it->plan = std::move(plan);
+    it->hits = 0;
+  } else {
+    sites_.push_back({std::string(site), std::move(plan), 0});
+  }
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::erase_if(sites_, [&](const Site& s) { return s.name == site; });
+  armed_.store(!sites_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::hits(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Site& s : sites_) {
+    if (s.name == site) {
+      return s.hits;
+    }
+  }
+  return 0;
+}
+
+void FaultInjector::check_slow(std::string_view site, std::int64_t key) {
+  std::uint32_t stall_ms = 0;
+  bool fail = false;
+  std::string message;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it =
+        std::find_if(sites_.begin(), sites_.end(),
+                     [&](const Site& s) { return s.name == site; });
+    if (it == sites_.end()) {
+      return;
+    }
+    const Plan& plan = it->plan;
+    if (plan.match_key != kAnyKey && key != plan.match_key) {
+      return;
+    }
+    const std::uint64_t hit = ++it->hits;
+    const bool in_window =
+        plan.fail_on_hit == 0 ||
+        (hit >= plan.fail_on_hit &&
+         hit - plan.fail_on_hit < plan.fail_count);
+    if (!in_window) {
+      return;
+    }
+    stall_ms = plan.stall_ms;
+    fail = plan.fail;
+    if (fail) {
+      message = "injected fault at " + std::string(site) + " (hit " +
+                std::to_string(hit) + ")";
+      if (!plan.message.empty()) {
+        message += ": " + plan.message;
+      }
+    }
+  }
+  // Sleep and throw OUTSIDE the lock: a stalled site must not serialize
+  // checks on other sites, and unwinding with a held mutex would deadlock
+  // the next arm/disarm.
+  if (stall_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+  }
+  if (fail) {
+    throw InjectedFault(message);
+  }
+}
+
+}  // namespace apss::util

@@ -8,6 +8,7 @@
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -211,6 +212,97 @@ TEST(ThreadPool, ExceptionFromSubmitterParticipationPropagates) {
     pool.parallel_for(0, 8, [&](std::size_t) { ++count; });
   });
   EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersShareOnePool) {
+  // Several threads race parallel_for calls on the SAME pool; submission
+  // is serialized (submit_mutex_), so every job still runs every iteration
+  // exactly once and no submitter observes another job's state.
+  ThreadPool pool(4);
+  constexpr std::size_t kSubmitters = 6;
+  constexpr std::size_t kRounds = 25;
+  constexpr std::size_t kN = 512;
+  std::vector<std::atomic<std::size_t>> totals(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (std::size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        std::atomic<std::size_t> count{0};
+        pool.parallel_for(0, kN, [&](std::size_t) { ++count; });
+        totals[s] += count.load();
+      }
+    });
+  }
+  for (auto& t : submitters) {
+    t.join();
+  }
+  for (std::size_t s = 0; s < kSubmitters; ++s) {
+    EXPECT_EQ(totals[s].load(), kRounds * kN) << "submitter " << s;
+  }
+}
+
+TEST(ThreadPool, ExceptionFromNestedParallelForPropagates) {
+  // A nested parallel_for degrades to serial execution inside the job
+  // body; a throw from the NESTED loop must surface through the outer
+  // job's capture-and-rethrow path, and the pool must stay healthy.
+  ThreadPool pool(4);
+  std::atomic<int> outer_bodies{0};
+  try {
+    pool.parallel_for(0, 64, [&](std::size_t i) {
+      ++outer_bodies;
+      pool.parallel_for(0, 8, [&](std::size_t j) {
+        if (i == 5 && j == 3) {
+          throw std::out_of_range("nested boom");
+        }
+      });
+    });
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& ex) {
+    EXPECT_STREQ(ex.what(), "nested boom");
+  }
+  EXPECT_GE(outer_bodies.load(), 1);
+  // Both nesting levels still work afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&](std::size_t) { ++count; });
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, FirstExceptionInClaimOrderWinsWhenAllThrow) {
+  // Every chunk throws. Exactly one exception is captured (the first to
+  // record), the rest are swallowed, and each runner abandons the job
+  // after its first failing claim — so at most workers + submitter bodies
+  // ever run out of the 256 chunks.
+  ThreadPool pool(3);
+  constexpr std::size_t kChunks = 256;
+  std::atomic<int> bodies_run{0};
+  std::string caught;
+  try {
+    pool.parallel_for_chunks(
+        0, kChunks,
+        [&](std::size_t lo, std::size_t) {
+          ++bodies_run;
+          throw std::runtime_error("chunk " + std::to_string(lo));
+        },
+        /*grain=*/1);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& ex) {
+    caught = ex.what();
+  }
+  EXPECT_EQ(caught.rfind("chunk ", 0), 0u) << caught;
+  const int runners = static_cast<int>(pool.size()) + 1;
+  EXPECT_GE(bodies_run.load(), 1);
+  EXPECT_LE(bodies_run.load(), runners);
+  // The winning exception came from a chunk that actually ran: with every
+  // body throwing on its first claim, that chunk index is below the number
+  // of runners.
+  const std::size_t winner = std::stoul(caught.substr(6));
+  EXPECT_LT(winner, static_cast<std::size_t>(runners));
+  // Drained clean: the next job is unaffected.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
 }
 
 }  // namespace
