@@ -6,7 +6,8 @@
 //       text through the simulator, and print match-end offsets.
 //   apss_cli anml <file.anml> '<input text>'
 //       Load an ANML network, execute it, and print report events.
-//   apss_cli knn <d> <n> <k> [seed] [--backend=cycle|bit] [--packing=<g>]
+//   apss_cli knn <d> <n> <k> [seed] [--backend=cycle|bit]
+//            [--lane-width=auto|64|256|512] [--packing=<g>]
 //            [--threads=<N>] [--max-per-config=<N>]
 //            [--artifact-cache=<dir>] [--save-artifact=<path>]
 //            [--load-artifact=<path>] [--deadline-ms=<ms>]
@@ -19,7 +20,11 @@
 //       (docs/SIMULATOR_SEMANTICS.md) instead of the cycle-accurate one,
 //       and prints the per-configuration compile outcome (per macro
 //       family) plus every fallback reason, so cycle-accurate fallbacks
-//       are visible. --packing=g builds the Sec. VI-A vector-packed
+//       are visible. --lane-width picks the batch backend's execution
+//       width (auto = widest this CPU supports; explicit widths fall back
+//       to a portable implementation when the SIMD variant is missing) —
+//       results are bit-identical at every width.
+//       --packing=g builds the Sec. VI-A vector-packed
 //       design, g vectors per shared ladder. --threads=N shards the
 //       compile and the search over N threads (0 = all hardware threads,
 //       the default; 1 = serial); any N returns bit-identical results.
@@ -157,6 +162,7 @@ struct ArtifactFlags {
 /// Everything the knn subcommand's flags configure.
 struct KnnFlags {
   core::SimulationBackend backend = core::SimulationBackend::kCycleAccurate;
+  apsim::LaneWidth lane_width = apsim::LaneWidth::kAuto;
   std::size_t packing_group = 0;
   std::size_t threads = 0;
   std::size_t max_per_config = 0;
@@ -171,6 +177,7 @@ int run_knn(std::size_t dims, std::size_t n, std::size_t k,
   const auto data = knn::BinaryDataset::uniform(n, dims, seed);
   core::EngineOptions opt;
   opt.backend = flags.backend;
+  opt.lane_width = flags.lane_width;
   opt.packing_group_size = flags.packing_group;
   opt.threads = flags.threads;
   opt.max_vectors_per_config = flags.max_per_config;
@@ -196,6 +203,8 @@ int run_knn(std::size_t dims, std::size_t n, std::size_t k,
                 "%zu hamming, %zu packed, %zu multiplexed)\n",
                 bs.bit_parallel, bs.configurations, bs.hamming, bs.packed,
                 bs.multiplexed);
+    std::printf("lane width: %zu bits (%s)\n", bs.lane_width_bits,
+                bs.lane_isa.c_str());
     for (const auto& [why, count] : bs.fallback_reasons) {
       std::printf("  fallback x%zu -> cycle-accurate: %s\n", count,
                   why.c_str());
@@ -303,6 +312,7 @@ void usage() {
                "  apss_cli pcre '<pattern>' '<text>'\n"
                "  apss_cli anml <file.anml> '<text>'\n"
                "  apss_cli knn <dims> <n> <k> [seed] [--backend=cycle|bit] "
+               "[--lane-width=auto|64|256|512] "
                "[--packing=<group>] [--threads=<N>] [--max-per-config=<N>] "
                "[--artifact-cache=<dir>] [--save-artifact=<path>] "
                "[--load-artifact=<path>] [--deadline-ms=<ms>] "
@@ -390,6 +400,16 @@ int main(int argc, char** argv) {
             flags.backend = core::SimulationBackend::kCycleAccurate;
           } else {
             std::fprintf(stderr, "unknown backend '%s'\n", value.c_str());
+            usage();
+            return kExitUsage;
+          }
+        } else if (arg.rfind("--lane-width=", 0) == 0) {
+          const std::string value = arg.substr(13);
+          if (!apsim::parse_lane_width(value, &flags.lane_width)) {
+            std::fprintf(stderr,
+                         "--lane-width must be auto, 64, 256 or 512 "
+                         "(got '%s')\n",
+                         value.c_str());
             usage();
             return kExitUsage;
           }

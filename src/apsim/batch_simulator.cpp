@@ -924,6 +924,8 @@ std::shared_ptr<const BatchProgram> BatchProgram::from_state(
   prog->dims_ = static_cast<std::size_t>(s.dims);
   prog->levels_ = static_cast<std::size_t>(s.levels);
   prog->words_ = static_cast<std::size_t>(words);
+  prog->row_stride_ =
+      (prog->words_ + kLaneBlockWords - 1) / kLaneBlockWords * kLaneBlockWords;
   prog->dim_words_ = static_cast<std::size_t>((s.dims + 63) / 64);
   prog->class_count_ = static_cast<std::size_t>(s.class_count);
   prog->valid_tail_ = valid_tail;
@@ -932,13 +934,28 @@ std::shared_ptr<const BatchProgram> BatchProgram::from_state(
   prog->sof_ = s.sof;
   prog->eof_ = s.eof;
   prog->sym_classes_ = s.sym_classes;
-  prog->dim_rows_ = s.dim_rows;
+  // Re-pack the canonical rows into the padded in-memory layout: every row
+  // widens from words_ to row_stride_ 64-bit words, pad words zero, so any
+  // execution width up to 512 bits can sweep whole rows untailed. This is
+  // the only transform between the serialized image and execution — the
+  // layout of the live words is unchanged (lane l at word l/64, bit l%64).
+  prog->dim_rows_.assign(s.dims * s.class_count * prog->row_stride_, 0);
+  for (std::uint64_t r = 0; r < s.dims * s.class_count; ++r) {
+    std::copy_n(s.dim_rows.begin() + static_cast<std::ptrdiff_t>(r * words),
+                words, prog->dim_rows_.begin() +
+                           static_cast<std::ptrdiff_t>(r * prog->row_stride_));
+  }
+  prog->valid_.assign(prog->row_stride_, 0);
+  for (std::size_t w = 0; w < prog->words_; ++w) {
+    prog->valid_[w] = w + 1 == prog->words_ ? valid_tail : ~std::uint64_t{0};
+  }
   prog->dim_used_.assign(prog->dims_, 0);
   for (std::size_t i = 0; i < prog->dims_; ++i) {
     for (std::size_t c = 0; c < prog->class_count_; ++c) {
+      const std::uint64_t* row =
+          &prog->dim_rows_[(i * prog->class_count_ + c) * prog->row_stride_];
       for (std::size_t w = 0; w < prog->words_; ++w) {
-        if (prog->dim_rows_[(i * prog->class_count_ + c) * prog->words_ + w] !=
-            0) {
+        if (row[w] != 0) {
           prog->dim_used_[i] |= static_cast<std::uint16_t>(1u << c);
           break;
         }
@@ -966,26 +983,43 @@ BatchProgramState BatchProgram::state() const {
   s.sof = sof_;
   s.eof = eof_;
   s.sym_classes = sym_classes_;
-  s.dim_rows = dim_rows_;
+  // Un-pad back to the canonical words_-sized rows: the serialized image
+  // (and therefore the artifact format) is independent of the in-memory
+  // stride and of any lane width.
+  s.dim_rows.assign(dims_ * class_count_ * words_, 0);
+  for (std::size_t r = 0; r < dims_ * class_count_; ++r) {
+    std::copy_n(dim_rows_.begin() + static_cast<std::ptrdiff_t>(
+                                        r * row_stride_),
+                words_,
+                s.dim_rows.begin() + static_cast<std::ptrdiff_t>(r * words_));
+  }
   s.report_elem = report_elem_;
   s.report_code = report_code_;
   return s;
 }
 
-BatchSimulator::BatchSimulator(std::shared_ptr<const BatchProgram> program)
+BatchSimulator::BatchSimulator(std::shared_ptr<const BatchProgram> program,
+                               LaneWidth lane_width)
     : program_(std::move(program)) {
   if (program_ == nullptr) {
     throw std::invalid_argument(
         "BatchSimulator: null program (try_compile declined?)");
   }
   const BatchProgram& p = *program_;
+  kernels_ = resolve_lane_kernels(lane_width);
+  // Words swept per cycle: the canonical count rounded up to this width's
+  // block. The program pads its rows and valid masks to kLaneBlockWords
+  // (>= any block), so the sweep never reads past storage, the pad words
+  // are zero, and the 64-bit path does exactly the work it always did.
+  const std::size_t block = kernels_.block_words();
+  eff_words_ = (p.words_ + block - 1) / block * block;
   chain_.assign(p.dim_words_, 0);
-  match_ring_.assign(p.levels_ * p.words_, 0);
-  planes_.assign(p.planes_ * p.words_, 0);
-  cond_prev_.assign(p.words_, 0);
-  pulse_.assign(p.words_, 0);
-  counter_out_.assign(p.words_, 0);
-  match_scratch_.assign(p.words_, 0);
+  match_ring_.assign(p.levels_ * eff_words_, 0);
+  planes_.assign(p.planes_ * eff_words_, 0);
+  cond_prev_.assign(eff_words_, 0);
+  pulse_.assign(eff_words_, 0);
+  counter_out_.assign(eff_words_, 0);
+  match_scratch_.assign(eff_words_, 0);
   reset();
 }
 
@@ -1003,8 +1037,8 @@ void BatchSimulator::reset() {
   std::fill(counter_out_.begin(), counter_out_.end(), 0);
   for (std::uint32_t q = 0; q < p.planes_; ++q) {
     const bool bias_bit = (p.bias_ >> q) & 1;
-    for (std::size_t w = 0; w < p.words_; ++w) {
-      planes_[q * p.words_ + w] = bias_bit ? p.valid_word(w) : 0;
+    for (std::size_t w = 0; w < eff_words_; ++w) {
+      planes_[q * eff_words_ + w] = bias_bit ? p.valid_[w] : 0;
     }
   }
   reports_.clear();
@@ -1056,6 +1090,8 @@ void BatchSimulator::step(std::uint8_t symbol) {
   //    dimension, accepted class) pair. The rows of one dimension
   //    partition the live lanes, so no complement or tail masking is
   //    needed; usually exactly one dimension (the wavefront) is enabled.
+  //    Rows live at stride row_stride_ and are zero-padded, so the kernel
+  //    sweeps eff_words_ whole blocks.
   std::fill(match_scratch_.begin(), match_scratch_.end(), 0);
   const std::uint16_t accept = p.sym_classes_[symbol];
   if (accept != 0) {
@@ -1067,14 +1103,12 @@ void BatchSimulator::step(std::uint8_t symbol) {
         bits &= bits - 1;
         std::uint16_t hit = accept & p.dim_used_[dim];
         const std::uint64_t* rows =
-            &p.dim_rows_[dim * p.class_count_ * words];
+            &p.dim_rows_[dim * p.class_count_ * p.row_stride_];
         while (hit != 0) {
           const auto c = static_cast<std::size_t>(std::countr_zero(hit));
           hit &= static_cast<std::uint16_t>(hit - 1);
-          const std::uint64_t* row = rows + c * words;
-          for (std::size_t i = 0; i < words; ++i) {
-            match_scratch_[i] |= row[i];
-          }
+          kernels_.or_rows(match_scratch_.data(), rows + c * p.row_stride_,
+                           eff_words_);
         }
       }
     }
@@ -1084,36 +1118,23 @@ void BatchSimulator::step(std::uint8_t symbol) {
   //    cycles (ring buffer); the sort/eof states add uniform enable/reset.
   //    Counts are bit-sliced: ripple-carry add of the packed increment mask,
   //    saturating adds past the top plane (only >= threshold is observable).
-  std::uint64_t* ring = &match_ring_[ring_pos_ * words];
-  for (std::size_t w = 0; w < words; ++w) {
-    const std::uint64_t roots = ring[w];
-    ring[w] = match_scratch_[w];
-    const std::uint64_t reset = eof_now ? p.valid_word(w) : 0;
-    const std::uint64_t inc =
-        (roots | (sort_now ? p.valid_word(w) : 0)) & ~reset;
-    std::uint64_t add = inc;
-    for (std::uint32_t q = 0; q < p.planes_ && add != 0; ++q) {
-      std::uint64_t& plane = planes_[q * words + w];
-      const std::uint64_t sum = plane ^ add;
-      add &= plane;
-      plane = sum;
-    }
-    if (add != 0) {  // overflow: pin the count at its (>= threshold) max
-      for (std::uint32_t q = 0; q < p.planes_; ++q) {
-        planes_[q * words + w] |= add;
-      }
-    }
-    if (reset != 0) {
-      for (std::uint32_t q = 0; q < p.planes_; ++q) {
-        std::uint64_t& plane = planes_[q * words + w];
-        plane = (plane & ~reset) | (((p.bias_ >> q) & 1) ? reset : 0);
-      }
-    }
-    const std::uint64_t cond = planes_[p.cond_plane_ * words + w] |
-                               planes_[(p.cond_plane_ + 1) * words + w];
-    pulse_[w] = cond & ~cond_prev_[w];  // rising edge -> pulse next cycle
-    cond_prev_[w] = cond;
-  }
+  //    The kernel executes the whole dataflow one lane-word block at a
+  //    time (see lane_kernels_impl.hpp); padding lanes have valid = 0, so
+  //    they never increment, reset or pulse.
+  LaneCounterCtx ctx;
+  ctx.ring = &match_ring_[ring_pos_ * eff_words_];
+  ctx.scratch = match_scratch_.data();
+  ctx.planes = planes_.data();
+  ctx.cond_prev = cond_prev_.data();
+  ctx.pulse = pulse_.data();
+  ctx.valid = p.valid_.data();
+  ctx.words = eff_words_;
+  ctx.plane_count = p.planes_;
+  ctx.cond_plane = p.cond_plane_;
+  ctx.bias = p.bias_;
+  ctx.sort_now = sort_now;
+  ctx.eof_now = eof_now;
+  kernels_.counter_update(ctx);
   ring_pos_ = (ring_pos_ + 1) % p.levels_;
   sort_prev_ = sort_now;
 }

@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "anml/network.hpp"
+#include "apsim/lane_word.hpp"
 #include "apsim/simulator.hpp"
 
 namespace apss::apsim {
@@ -214,15 +215,18 @@ class BatchProgram {
   static std::shared_ptr<const BatchProgram> compile_lanes(
       const LaneTable& lanes);
 
-  std::uint64_t valid_word(std::size_t w) const noexcept {
-    return w + 1 == words_ ? valid_tail_ : ~std::uint64_t{0};
-  }
-
   MacroFamily family_ = MacroFamily::kHamming;
   std::size_t macro_count_ = 0;  ///< lanes
   std::size_t dims_ = 0;
   std::size_t levels_ = 1;
-  std::size_t words_ = 0;      ///< words per packed lane mask
+  std::size_t words_ = 0;  ///< canonical (unpadded) words per packed lane mask
+  /// In-memory words per lane-mask row: words_ rounded up to kLaneBlockWords
+  /// so every execution width (64/256/512) divides the storage. The pad
+  /// words are zero — no live lane, no class bit, valid mask 0 — which is
+  /// what makes them semantically invisible to the kernels. The serialized
+  /// state() stays canonical (words_-sized rows), so artifacts never see
+  /// the padding.
+  std::size_t row_stride_ = 0;
   std::size_t dim_words_ = 0;  ///< words per packed dimension (chain) mask
   std::size_t class_count_ = 0;   ///< distinct matching classes
   std::uint64_t valid_tail_ = 0;  ///< live bits of the last lane word
@@ -233,10 +237,13 @@ class BatchProgram {
   std::array<std::uint16_t, 256> sym_classes_{};
   /// Per dimension: bitmask of the classes some lane uses there.
   std::vector<std::uint16_t> dim_used_;
-  /// dims_ x class_count_ x words_: bit l of row (i, c) = lane l's dim-i
-  /// matching state uses class c. Rows of one dimension partition the live
-  /// lanes (every lane has exactly one class per dimension).
+  /// dims_ x class_count_ x row_stride_: bit l of row (i, c) = lane l's
+  /// dim-i matching state uses class c. Rows of one dimension partition the
+  /// live lanes (every lane has exactly one class per dimension); the
+  /// row_stride_ - words_ pad words of every row are zero.
   std::vector<std::uint64_t> dim_rows_;
+  /// row_stride_ words: bit l = lane l is live (zero in the pad words).
+  std::vector<std::uint64_t> valid_;
   std::vector<anml::ElementId> report_elem_;  ///< per lane
   std::vector<std::uint32_t> report_code_;    ///< per lane
   std::uint32_t planes_ = 0;      ///< Q: bit planes per counter
@@ -247,11 +254,20 @@ class BatchProgram {
 /// Executes a BatchProgram with the same streaming interface and the same
 /// ReportEvent output as the cycle-accurate Simulator. Cheap to construct
 /// (dynamic state only); create one per worker thread.
+///
+/// The execution lane width is a per-simulator choice (resolve_lane_kernels
+/// decides SIMD vs portable at construction); the ReportEvent stream is
+/// bit-identical at every width, so a program — or an artifact compiled at
+/// one width — runs unchanged at any other.
 class BatchSimulator {
  public:
   /// Throws std::invalid_argument on a null program (i.e. a try_compile
   /// result that declined — callers must fall back, not construct).
-  explicit BatchSimulator(std::shared_ptr<const BatchProgram> program);
+  /// `lane_width` picks the execution width; kAuto selects the widest
+  /// SIMD-backed width this CPU + build supports (the 64-bit scalar path
+  /// when none).
+  explicit BatchSimulator(std::shared_ptr<const BatchProgram> program,
+                          LaneWidth lane_width = LaneWidth::kAuto);
 
   /// Returns to the pre-stream state (cycle 0, all counts zero).
   void reset();
@@ -281,8 +297,16 @@ class BatchSimulator {
   void clear_reports() { reports_.clear(); }
   const BatchProgram& program() const noexcept { return *program_; }
 
+  /// The RESOLVED execution width (never kAuto) and its backing ISA
+  /// ("scalar" | "portable" | "avx2" | "avx512").
+  LaneWidth lane_width() const noexcept { return kernels_.width; }
+  const char* lane_isa() const noexcept { return kernels_.isa; }
+  bool lane_simd() const noexcept { return kernels_.simd; }
+
  private:
   std::shared_ptr<const BatchProgram> program_;
+  LaneKernels kernels_;     ///< resolved hot-loop kernels (width + ISA)
+  std::size_t eff_words_ = 0;  ///< words_ rounded up to the kernel block
 
   std::uint64_t cycle_ = 0;
   bool guard_prev_ = false;  ///< guard output last cycle (scalar: uniform)

@@ -1,0 +1,87 @@
+#pragma once
+// Shared kernel bodies for every lane-word backend. Each translation unit
+// (portable, AVX2, AVX-512) instantiates these templates with its own
+// vector policy type V — LaneWord<W> for the portable builds, an intrinsic
+// wrapper for the SIMD ones. The dataflow is identical everywhere, which is
+// what makes the widths bit-identical by construction: only the number of
+// 64-bit words touched per iteration changes.
+//
+// V must provide: kWords, load/store/zero, operator| & ^, andnot(mask)
+// (= *this & ~mask), and any(). Callers guarantee ctx.words (and the
+// `words` of or_rows) is a multiple of V::kWords and that every array is
+// zero-padded past the live lanes, so no tail handling exists here.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "apsim/lane_word.hpp"
+
+namespace apss::apsim::detail {
+
+template <class V>
+inline void or_rows_impl(std::uint64_t* dst, const std::uint64_t* src,
+                         std::size_t words) {
+  for (std::size_t w = 0; w < words; w += V::kWords) {
+    (V::load(dst + w) | V::load(src + w)).store(dst + w);
+  }
+}
+
+/// One cycle of the bit-sliced counter bank, W lanes per iteration — the
+/// exact per-word dataflow of the original 64-bit loop (see
+/// BatchSimulator::step, step 5):
+///   roots   = ring (the L-cycle collector delay line output)
+///   ring    = scratch (this cycle's packed match word enters the line)
+///   inc     = (roots | sort_enable) & ~reset
+///   planes += inc (ripple carry; saturate past the top plane)
+///   reset  -> reload the bias
+///   pulse   = rising edge of (count >= threshold)
+/// The only difference at W > 64: the ripple-carry early exit triggers per
+/// BLOCK (all W lanes' carries zero) instead of per word — more work in
+/// rare carry-skewed blocks, identical bits always.
+template <class V>
+inline void counter_update_impl(const LaneCounterCtx& ctx) {
+  const std::size_t stride = ctx.words;
+  for (std::size_t w = 0; w < ctx.words; w += V::kWords) {
+    const V roots = V::load(ctx.ring + w);
+    V::load(ctx.scratch + w).store(ctx.ring + w);
+    const V valid = V::load(ctx.valid + w);
+    const V reset = ctx.eof_now ? valid : V::zero();
+    V inc = roots;
+    if (ctx.sort_now) {
+      inc = inc | valid;
+    }
+    inc = inc.andnot(reset);
+
+    V add = inc;
+    std::uint32_t q = 0;
+    for (; q < ctx.plane_count && add.any(); ++q) {
+      std::uint64_t* pw = ctx.planes + q * stride + w;
+      const V plane = V::load(pw);
+      (plane ^ add).store(pw);
+      add = add & plane;  // carry out of plane q
+    }
+    if (add.any()) {  // overflow: pin the count at its (>= threshold) max
+      for (std::uint32_t r = 0; r < ctx.plane_count; ++r) {
+        std::uint64_t* pw = ctx.planes + r * stride + w;
+        (V::load(pw) | add).store(pw);
+      }
+    }
+    if (ctx.eof_now) {
+      for (std::uint32_t r = 0; r < ctx.plane_count; ++r) {
+        std::uint64_t* pw = ctx.planes + r * stride + w;
+        V plane = V::load(pw).andnot(reset);
+        if ((ctx.bias >> r) & 1) {
+          plane = plane | reset;
+        }
+        plane.store(pw);
+      }
+    }
+    const V cond = V::load(ctx.planes + ctx.cond_plane * stride + w) |
+                   V::load(ctx.planes + (ctx.cond_plane + 1) * stride + w);
+    const V prev = V::load(ctx.cond_prev + w);
+    cond.andnot(prev).store(ctx.pulse + w);  // rising edge -> pulse
+    cond.store(ctx.cond_prev + w);
+  }
+}
+
+}  // namespace apss::apsim::detail

@@ -237,6 +237,16 @@ ApKnnEngine::ApKnnEngine(knn::BinaryDataset dataset, EngineOptions options)
       }
     }
   }
+  if (options_.backend == SimulationBackend::kBitParallel) {
+    // Resolve the execution lane width once so the stats (and the CLI
+    // printout) report what search() will actually run, even before any
+    // simulator is constructed. Purely informational — programs and
+    // artifacts are width-agnostic.
+    const apsim::LaneKernels kernels =
+        apsim::resolve_lane_kernels(options_.lane_width);
+    compile_stats_.lane_width_bits = kernels.width_bits();
+    compile_stats_.lane_isa = kernels.isa;
+  }
 }
 
 void ApKnnEngine::build_network(
@@ -464,7 +474,8 @@ std::vector<std::vector<knn::Neighbor>> ApKnnEngine::search(
         reference.reset();
         batch.reset();
         if (use_batch) {
-          batch = std::make_unique<apsim::BatchSimulator>(part.program);
+          batch = std::make_unique<apsim::BatchSimulator>(part.program,
+                                                          options_.lane_width);
         } else if (part.program != nullptr) {
           // Degrade path: the network may be absent (cache hit skipped
           // construction) and other workers may degrade shards of the same

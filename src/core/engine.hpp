@@ -13,6 +13,7 @@
 
 #include "anml/network.hpp"
 #include "apsim/device.hpp"
+#include "apsim/lane_word.hpp"
 #include "apsim/placement.hpp"
 #include "apsim/simulator.hpp"
 #include "core/artifact_cache.hpp"
@@ -114,6 +115,13 @@ struct BackendCompileStats {
   /// Compile-cache hit/miss/invalidation counters (all zero unless
   /// EngineOptions::artifact_cache_dir is set; see core/artifact_cache.hpp).
   ArtifactCacheStats artifact;
+  /// Resolved execution lane width in bits (64/256/512) and its backing
+  /// ISA ("scalar" | "portable" | "avx2" | "avx512") — what
+  /// EngineOptions::lane_width resolved to on this CPU/build. Zero/empty
+  /// when the backend is kCycleAccurate. Purely informational: programs and
+  /// artifacts are width-agnostic, so this never keys the compile cache.
+  std::size_t lane_width_bits = 0;
+  std::string lane_isa;
 
   bool operator==(const BackendCompileStats&) const = default;
 };
@@ -148,6 +156,16 @@ struct EngineOptions {
   bool collect_report_stream = false;
   /// Simulation backend (default: the cycle-accurate reference).
   SimulationBackend backend = SimulationBackend::kCycleAccurate;
+  /// Execution lane width for the kBitParallel backend: how many lanes each
+  /// simulator word-operation advances. kAuto (default) resolves to the
+  /// widest SIMD-backed width the CPU + build support (64-bit scalar when
+  /// none); explicit widths always run — on a portable fallback when the
+  /// SIMD variant is unavailable. Every width produces bit-identical
+  /// results and report streams (the width-sweep differential contract);
+  /// compiled programs and artifacts are width-agnostic. Surfaced as
+  /// `apss_cli knn --lane-width=...`; APSS_DISABLE_SIMD=1 in the
+  /// environment forces the portable fallback regardless of this setting.
+  apsim::LaneWidth lane_width = apsim::LaneWidth::kAuto;
   /// When > 0, each configuration is built with the Sec. VI-A
   /// vector-packing transform — this many vectors overlay one shared
   /// ladder per group — instead of one macro per vector. Board capacity,

@@ -90,10 +90,12 @@ std::vector<std::uint8_t> MultiplexedStreamEncoder::encode_batch(
 MultiplexedKnn::MultiplexedKnn(knn::BinaryDataset data, std::size_t slices,
                                HammingMacroOptions options,
                                SimulationBackend backend,
-                               std::string artifact_cache_dir)
+                               std::string artifact_cache_dir,
+                               apsim::LaneWidth lane_width)
     : data_(std::move(data)),
       slices_(slices),
       network_("multiplexed"),
+      lane_width_(lane_width),
       macro_options_(options) {
   if (data_.empty()) {
     throw std::invalid_argument("MultiplexedKnn: empty dataset");
@@ -201,7 +203,7 @@ std::vector<std::vector<knn::Neighbor>> MultiplexedKnn::search(
       util::FaultInjector::check(util::kFaultMuxFrame, ctl.fault_key);
       const bool use_batch = program_ != nullptr && !force_reference;
       if (use_batch && batch == nullptr) {
-        batch = std::make_unique<apsim::BatchSimulator>(program_);
+        batch = std::make_unique<apsim::BatchSimulator>(program_, lane_width_);
       } else if (!use_batch && reference == nullptr) {
         reference = std::make_unique<apsim::Simulator>(network_);
       }

@@ -94,10 +94,13 @@ class MultiplexedKnn {
   /// from its cache slot when a valid artifact is present — skipping the
   /// verification compile — and compiles + saves otherwise; the outcome is
   /// reported by artifact_outcome().
+  /// `lane_width` picks the bit-parallel execution width (kAuto = widest
+  /// the CPU + build support); any width yields bit-identical results.
   MultiplexedKnn(knn::BinaryDataset data, std::size_t slices = kMaxSlices,
                  HammingMacroOptions options = {},
                  SimulationBackend backend = SimulationBackend::kCycleAccurate,
-                 std::string artifact_cache_dir = {});
+                 std::string artifact_cache_dir = {},
+                 apsim::LaneWidth lane_width = apsim::LaneWidth::kAuto);
 
   /// Exact kNN for all rows of `queries`, `slices` queries per frame.
   /// Returns ascending-distance neighbor lists of dataset vector ids.
@@ -164,6 +167,7 @@ class MultiplexedKnn {
   anml::AutomataNetwork network_;
   /// Compiled bit-parallel program; null = use the cycle-accurate path.
   std::shared_ptr<const apsim::BatchProgram> program_;
+  apsim::LaneWidth lane_width_ = apsim::LaneWidth::kAuto;
   std::string fallback_reason_;
   HammingMacroOptions macro_options_;
   ArtifactOutcome artifact_outcome_ = ArtifactOutcome::kDisabled;

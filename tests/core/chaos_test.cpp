@@ -137,8 +137,10 @@ void expect_isolation(const knn::BinaryDataset& data,
                       const knn::BinaryDataset& queries,
                       SimulationBackend backend, std::string_view site,
                       OnError policy, ShardState victim_state,
-                      const std::string& ctx) {
+                      const std::string& ctx,
+                      apsim::LaneWidth lane_width = apsim::LaneWidth::kAuto) {
   EngineOptions opt = bed_options(backend);
+  opt.lane_width = lane_width;
   const SearchRun baseline = run_engine(data, queries, 4, opt, 1);
   ASSERT_FALSE(baseline.stream.empty()) << ctx;
 
@@ -247,6 +249,28 @@ TEST_F(ChaosEngine, BatchFrameFaultDegradesToCycleAccurate) {
   expect_isolation(data, queries, SimulationBackend::kBitParallel,
                    util::kFaultBatchFrame, OnError::kRetry,
                    ShardState::kDegraded, "batch.frame/retry/bit");
+}
+
+TEST_F(ChaosEngine, FaultSitesIsolateAtWideLaneWidth) {
+  // The fault-isolation matrix pinned to 512-bit lanes: shard loss, the
+  // degrade-to-cycle-accurate rerun (which re-enters sim.frame), and the
+  // 1/4-thread merges must behave exactly as they do at 64 bits.
+  const auto data = knn::BinaryDataset::uniform(kVectors, 24, 723);
+  const auto queries = knn::BinaryDataset::uniform(6, 24, 724);
+  expect_isolation(data, queries, SimulationBackend::kBitParallel,
+                   util::kFaultEngineShard, OnError::kIsolate,
+                   ShardState::kFailed, "engine.shard/isolate/bit/w512",
+                   apsim::LaneWidth::k512);
+  expect_isolation(data, queries, SimulationBackend::kBitParallel,
+                   util::kFaultBatchFrame, OnError::kIsolate,
+                   ShardState::kDegraded, "batch.frame/isolate/bit/w512",
+                   apsim::LaneWidth::k512);
+  // lane_width is a bit-parallel knob: on the cycle-accurate backend it
+  // must be inert, including on the sim.frame failure path.
+  expect_isolation(data, queries, SimulationBackend::kCycleAccurate,
+                   util::kFaultSimFrame, OnError::kIsolate,
+                   ShardState::kFailed, "sim.frame/isolate/cycle/w512",
+                   apsim::LaneWidth::k512);
 }
 
 TEST_F(ChaosEngine, RetryRecoversTransientFault) {
