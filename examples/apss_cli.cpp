@@ -73,6 +73,7 @@
 #include "apsim/placement.hpp"
 #include "apsim/simulator.hpp"
 #include "artifact/artifact.hpp"
+#include "cli_common.hpp"
 #include "core/engine.hpp"
 #include "util/cancellation.hpp"
 #include "util/fault_injection.hpp"
@@ -148,40 +149,33 @@ int run_anml(const std::string& path, const std::string& text) {
   return kExitOk;
 }
 
-/// Artifact-related knn flags (all need --backend=bit).
-struct ArtifactFlags {
-  std::string cache_dir;   ///< --artifact-cache=DIR
-  std::string save_path;   ///< --save-artifact=PATH
-  std::string load_path;   ///< --load-artifact=PATH
-
-  bool any() const {
-    return !cache_dir.empty() || !save_path.empty() || !load_path.empty();
-  }
-};
-
-/// Everything the knn subcommand's flags configure.
+/// Everything the knn subcommand's flags configure. The engine-facing
+/// flags shared with apss_serve (--backend/--lane-width/--threads/
+/// --artifact-cache) parse through cli::EngineFlags (cli_common.hpp).
 struct KnnFlags {
-  core::SimulationBackend backend = core::SimulationBackend::kCycleAccurate;
-  apsim::LaneWidth lane_width = apsim::LaneWidth::kAuto;
+  cli::EngineFlags engine;
   std::size_t packing_group = 0;
-  std::size_t threads = 0;
   std::size_t max_per_config = 0;
   double deadline_ms = 0;
   core::OnError on_error = core::OnError::kFailFast;
   std::size_t max_retries = 2;
-  ArtifactFlags artifacts;
+  std::string save_artifact;  ///< --save-artifact=PATH
+  std::string load_artifact;  ///< --load-artifact=PATH
+
+  /// Any artifact flag set (all need --backend=bit)?
+  bool any_artifact() const {
+    return !engine.artifact_cache_dir.empty() || !save_artifact.empty() ||
+           !load_artifact.empty();
+  }
 };
 
 int run_knn(std::size_t dims, std::size_t n, std::size_t k,
             std::uint64_t seed, const KnnFlags& flags) {
   const auto data = knn::BinaryDataset::uniform(n, dims, seed);
   core::EngineOptions opt;
-  opt.backend = flags.backend;
-  opt.lane_width = flags.lane_width;
+  flags.engine.apply(&opt);
   opt.packing_group_size = flags.packing_group;
-  opt.threads = flags.threads;
   opt.max_vectors_per_config = flags.max_per_config;
-  opt.artifact_cache_dir = flags.artifacts.cache_dir;
   opt.deadline_ms = flags.deadline_ms;
   opt.cancel = &g_cancel;
   opt.on_error = flags.on_error;
@@ -197,7 +191,7 @@ int run_knn(std::size_t dims, std::size_t n, std::size_t k,
               flags.packing_group > 0 ? " (vector-packed)" : "",
               placement.ste_count, placement.blocks_used,
               placement.routed ? "fully" : "PARTIALLY");
-  if (flags.backend == core::SimulationBackend::kBitParallel) {
+  if (flags.engine.backend == core::SimulationBackend::kBitParallel) {
     const core::BackendCompileStats& bs = engine.backend_stats();
     std::printf("backend: bit-parallel (%zu/%zu configurations compiled: "
                 "%zu hamming, %zu packed, %zu multiplexed)\n",
@@ -209,7 +203,7 @@ int run_knn(std::size_t dims, std::size_t n, std::size_t k,
       std::printf("  fallback x%zu -> cycle-accurate: %s\n", count,
                   why.c_str());
     }
-    if (!flags.artifacts.cache_dir.empty()) {
+    if (!flags.engine.artifact_cache_dir.empty()) {
       std::printf("artifact cache: %zu hits, %zu misses, %zu invalidations, "
                   "%zu io-retries, %zu quarantined, %zu stale tmp swept\n",
                   bs.artifact.hits, bs.artifact.misses,
@@ -220,18 +214,17 @@ int run_knn(std::size_t dims, std::size_t n, std::size_t k,
     std::printf("backend: cycle-accurate\n");
   }
 
-  if (!flags.artifacts.save_path.empty()) {
+  if (!flags.save_artifact.empty()) {
     std::string error;
-    if (!engine.save_artifact(0, flags.artifacts.save_path, &error)) {
+    if (!engine.save_artifact(0, flags.save_artifact, &error)) {
       std::fprintf(stderr, "save-artifact: %s\n", error.c_str());
       return kExitLoadError;
     }
     std::printf("artifact: saved configuration 0 to %s\n",
-                flags.artifacts.save_path.c_str());
+                flags.save_artifact.c_str());
   }
-  if (!flags.artifacts.load_path.empty()) {
-    const artifact::LoadResult loaded =
-        artifact::load(flags.artifacts.load_path);
+  if (!flags.load_artifact.empty()) {
+    const artifact::LoadResult loaded = artifact::load(flags.load_artifact);
     if (!loaded) {
       std::fprintf(stderr, "load-artifact: %s: %s\n",
                    artifact::to_string(loaded.error.code),
@@ -242,7 +235,7 @@ int run_knn(std::size_t dims, std::size_t n, std::size_t k,
     const apsim::BatchProgram& prog = *loaded.artifact->program;
     std::printf("artifact: loaded %s (builder %s, network '%s', %s family, "
                 "%zu lanes x %zu dims, key %016llx)\n",
-                flags.artifacts.load_path.c_str(), meta.builder.c_str(),
+                flags.load_artifact.c_str(), meta.builder.c_str(),
                 meta.network_name.c_str(), apsim::to_string(prog.family()),
                 prog.macro_count(), prog.dims(),
                 static_cast<unsigned long long>(meta.key_hash));
@@ -320,58 +313,6 @@ void usage() {
                "[--inject-fault=<site>[:<hit>[:<count>[:<key>]]]]\n");
 }
 
-/// Strict non-negative integer parse (no signs, suffixes, empty values).
-bool parse_uint(const std::string& value, unsigned long long* out) {
-  if (value.empty() || value[0] < '0' || value[0] > '9') {
-    return false;
-  }
-  char* end = nullptr;
-  *out = std::strtoull(value.c_str(), &end, 10);
-  return end != nullptr && *end == '\0';
-}
-
-/// "--inject-fault=SITE[:HIT[:COUNT[:KEY]]]" -> arms the process-global
-/// fault injector before the engine is built, so the shell can drive any
-/// failure path (scripts/cli_exit_codes_test.sh).
-bool arm_injected_fault(const std::string& spec) {
-  std::vector<std::string> parts;
-  std::size_t start = 0;
-  while (true) {
-    const std::size_t colon = spec.find(':', start);
-    parts.push_back(spec.substr(start, colon - start));
-    if (colon == std::string::npos) {
-      break;
-    }
-    start = colon + 1;
-  }
-  if (parts[0].empty() || parts.size() > 4) {
-    return false;
-  }
-  util::FaultInjector::Plan plan;
-  unsigned long long v = 0;
-  if (parts.size() > 1) {
-    if (!parse_uint(parts[1], &v) || v == 0) {
-      return false;
-    }
-    plan.fail_on_hit = v;
-  }
-  if (parts.size() > 2) {
-    if (!parse_uint(parts[2], &v) || v == 0) {
-      return false;
-    }
-    plan.fail_count = v;
-  }
-  if (parts.size() > 3) {
-    if (!parse_uint(parts[3], &v)) {
-      return false;
-    }
-    plan.match_key = static_cast<std::int64_t>(v);
-  }
-  plan.message = "injected via --inject-fault";
-  util::FaultInjector::instance().arm(parts[0], plan);
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -391,48 +332,27 @@ int main(int argc, char** argv) {
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         unsigned long long v = 0;
-        if (arg.rfind("--backend=", 0) == 0) {
-          const std::string value = arg.substr(10);
-          if (value == "bit" || value == "bit-parallel" ||
-              value == "bit_parallel") {
-            flags.backend = core::SimulationBackend::kBitParallel;
-          } else if (value == "cycle" || value == "cycle-accurate") {
-            flags.backend = core::SimulationBackend::kCycleAccurate;
-          } else {
-            std::fprintf(stderr, "unknown backend '%s'\n", value.c_str());
-            usage();
-            return kExitUsage;
-          }
-        } else if (arg.rfind("--lane-width=", 0) == 0) {
-          const std::string value = arg.substr(13);
-          if (!apsim::parse_lane_width(value, &flags.lane_width)) {
-            std::fprintf(stderr,
-                         "--lane-width must be auto, 64, 256 or 512 "
-                         "(got '%s')\n",
-                         value.c_str());
-            usage();
-            return kExitUsage;
-          }
-        } else if (arg.rfind("--packing=", 0) == 0) {
-          if (!parse_uint(arg.substr(10), &v) || v == 0) {
+        std::string flag_error;
+        const cli::FlagParse shared =
+            cli::try_parse_engine_flag(arg, &flags.engine, &flag_error);
+        if (shared == cli::FlagParse::kError) {
+          std::fprintf(stderr, "%s\n", flag_error.c_str());
+          usage();
+          return kExitUsage;
+        }
+        if (shared == cli::FlagParse::kParsed) {
+          continue;
+        }
+        if (arg.rfind("--packing=", 0) == 0) {
+          if (!cli::parse_uint(arg.substr(10), &v) || v == 0) {
             std::fprintf(stderr,
                          "--packing needs a positive integer group size\n");
             usage();
             return kExitUsage;
           }
           flags.packing_group = static_cast<std::size_t>(v);
-        } else if (arg.rfind("--threads=", 0) == 0) {
-          // 0 is legal here (= all hardware threads).
-          if (!parse_uint(arg.substr(10), &v)) {
-            std::fprintf(stderr,
-                         "--threads needs a non-negative integer "
-                         "(0 = all hardware threads)\n");
-            usage();
-            return kExitUsage;
-          }
-          flags.threads = static_cast<std::size_t>(v);
         } else if (arg.rfind("--max-per-config=", 0) == 0) {
-          if (!parse_uint(arg.substr(17), &v) || v == 0) {
+          if (!cli::parse_uint(arg.substr(17), &v) || v == 0) {
             std::fprintf(stderr,
                          "--max-per-config needs a positive integer\n");
             usage();
@@ -440,17 +360,12 @@ int main(int argc, char** argv) {
           }
           flags.max_per_config = static_cast<std::size_t>(v);
         } else if (arg.rfind("--deadline-ms=", 0) == 0) {
-          const std::string value = arg.substr(14);
-          char* end = nullptr;
-          const double ms =
-              value.empty() ? -1.0 : std::strtod(value.c_str(), &end);
-          if (ms <= 0 || end == nullptr || *end != '\0') {
+          if (!cli::parse_positive_double(arg.substr(14), &flags.deadline_ms)) {
             std::fprintf(stderr,
                          "--deadline-ms needs a positive duration in ms\n");
             usage();
             return kExitUsage;
           }
-          flags.deadline_ms = ms;
         } else if (arg.rfind("--on-error=", 0) == 0) {
           const std::string value = arg.substr(11);
           if (value == "fail" || value == "fail-fast") {
@@ -460,7 +375,7 @@ int main(int argc, char** argv) {
           } else if (value == "retry") {
             flags.on_error = core::OnError::kRetry;
           } else if (value.rfind("retry:", 0) == 0 &&
-                     parse_uint(value.substr(6), &v)) {
+                     cli::parse_uint(value.substr(6), &v)) {
             flags.on_error = core::OnError::kRetry;
             flags.max_retries = static_cast<std::size_t>(v);
           } else {
@@ -470,18 +385,16 @@ int main(int argc, char** argv) {
             return kExitUsage;
           }
         } else if (arg.rfind("--inject-fault=", 0) == 0) {
-          if (!arm_injected_fault(arg.substr(15))) {
+          if (!cli::arm_injected_fault(arg.substr(15))) {
             std::fprintf(stderr,
                          "--inject-fault needs SITE[:HIT[:COUNT[:KEY]]]\n");
             usage();
             return kExitUsage;
           }
-        } else if (arg.rfind("--artifact-cache=", 0) == 0) {
-          flags.artifacts.cache_dir = arg.substr(17);
         } else if (arg.rfind("--save-artifact=", 0) == 0) {
-          flags.artifacts.save_path = arg.substr(16);
+          flags.save_artifact = arg.substr(16);
         } else if (arg.rfind("--load-artifact=", 0) == 0) {
-          flags.artifacts.load_path = arg.substr(16);
+          flags.load_artifact = arg.substr(16);
         } else if (arg.rfind("--", 0) == 0) {
           std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
           usage();
@@ -498,8 +411,8 @@ int main(int argc, char** argv) {
       const auto n = static_cast<std::size_t>(std::stoul(args[1]));
       const auto k = static_cast<std::size_t>(std::stoul(args[2]));
       const std::uint64_t seed = args.size() > 3 ? std::stoull(args[3]) : 1;
-      if (flags.artifacts.any() &&
-          flags.backend != core::SimulationBackend::kBitParallel) {
+      if (flags.any_artifact() &&
+          flags.engine.backend != core::SimulationBackend::kBitParallel) {
         std::fprintf(stderr,
                      "--artifact-cache/--save-artifact/--load-artifact need "
                      "--backend=bit (artifacts hold bit-parallel programs)\n");

@@ -384,6 +384,12 @@ double ApKnnEngine::report_bandwidth_gbps() const {
 
 std::vector<std::vector<knn::Neighbor>> ApKnnEngine::search(
     const knn::BinaryDataset& queries, std::size_t k) {
+  return search(queries, k, SearchControl{});
+}
+
+std::vector<std::vector<knn::Neighbor>> ApKnnEngine::search(
+    const knn::BinaryDataset& queries, std::size_t k,
+    const SearchControl& control) {
   if (queries.dims() != dataset_.dims()) {
     throw std::invalid_argument("ApKnnEngine::search: query dims mismatch");
   }
@@ -434,9 +440,13 @@ std::vector<std::vector<knn::Neighbor>> ApKnnEngine::search(
   // Per-shard outcomes are recorded into a pre-sized vector (no locking,
   // no ordering dependence) and reduced per configuration after the run.
   util::Deadline deadline;
-  if (options_.deadline_ms > 0) {
+  if (control.deadline != nullptr) {
+    deadline = *control.deadline;
+  } else if (options_.deadline_ms > 0) {
     deadline = util::Deadline::after_ms(options_.deadline_ms);
   }
+  const util::CancellationToken* cancel =
+      control.cancel != nullptr ? control.cancel : options_.cancel;
   struct ShardOutcome {
     ShardState state = ShardState::kOk;
     std::string error;
@@ -508,7 +518,7 @@ std::vector<std::vector<knn::Neighbor>> ApKnnEngine::search(
       const Partition& part = partitions_[shard.config];
       util::RunControl ctl;
       ctl.deadline = &deadline;
-      ctl.cancel = options_.cancel;
+      ctl.cancel = cancel;
       ctl.checkpoint_period = spec_.cycles_per_query();
       ctl.fault_key = static_cast<std::int64_t>(shard.config);
       if (options_.on_error == OnError::kFailFast) {

@@ -264,6 +264,18 @@ struct EngineStats {
   }
 };
 
+/// Per-call overrides for one search(): an external deadline replacing the
+/// options-derived EngineOptions::deadline_ms budget, and an external
+/// cancellation token checked instead of EngineOptions::cancel. Both
+/// pointers must outlive the call; null fields fall back to the options.
+/// This is what lets a long-lived resident engine (the serving layer's
+/// workers) propagate PER-REQUEST budgets into the RunControl checkpoints
+/// without rebuilding the engine per request.
+struct SearchControl {
+  const util::Deadline* deadline = nullptr;
+  const util::CancellationToken* cancel = nullptr;
+};
+
 class ApKnnEngine {
  public:
   /// Compiles `dataset` into board configurations. The dataset is copied.
@@ -273,6 +285,13 @@ class ApKnnEngine {
   /// neighbor lists (global ids); fills `last_stats()`.
   std::vector<std::vector<knn::Neighbor>> search(
       const knn::BinaryDataset& queries, std::size_t k);
+
+  /// search() with per-call deadline/cancellation overrides (see
+  /// SearchControl). search(queries, k) is exactly this with an empty
+  /// control.
+  std::vector<std::vector<knn::Neighbor>> search(
+      const knn::BinaryDataset& queries, std::size_t k,
+      const SearchControl& control);
 
   const EngineStats& last_stats() const noexcept { return stats_; }
 

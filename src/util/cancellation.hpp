@@ -84,6 +84,29 @@ class Deadline {
         .count();
   }
 
+  /// The deadline that expires LAST — an unset operand wins (it never
+  /// expires at all). This is the batching combinator: a shared query frame
+  /// serving several requests stays useful until its last request's budget
+  /// is gone, so the frame's budget is the latest of its members'.
+  static Deadline latest(const Deadline& a, const Deadline& b) noexcept {
+    if (!a.set_ || !b.set_) {
+      return Deadline{};
+    }
+    return a.at_ >= b.at_ ? a : b;
+  }
+
+  /// The deadline that expires FIRST — a set operand wins over an unset
+  /// one. Use to cap a caller-supplied budget with a policy ceiling.
+  static Deadline earliest(const Deadline& a, const Deadline& b) noexcept {
+    if (!a.set_) {
+      return b;
+    }
+    if (!b.set_) {
+      return a;
+    }
+    return a.at_ <= b.at_ ? a : b;
+  }
+
  private:
   bool set_ = false;
   std::chrono::steady_clock::time_point at_{};

@@ -11,6 +11,8 @@
 //   "mux.frame"           MultiplexedKnn::search, at each frame attempt entry
 //   "sim.frame"           apsim::Simulator, at each query-frame boundary
 //   "batch.frame"         apsim::BatchSimulator, at each query-frame boundary
+//   "serve.admit"         serve::KnnServer::submit, at each admission attempt
+//   "serve.batch"         serve::KnnServer batch execution entry, per batch
 //
 // A test arms a site with a Plan ("fail hits 3..4 of configuration 1",
 // "stall every hit 10 ms") and the next matching check() throws
@@ -48,6 +50,8 @@ inline constexpr std::string_view kFaultEngineShard = "engine.shard";
 inline constexpr std::string_view kFaultMuxFrame = "mux.frame";
 inline constexpr std::string_view kFaultSimFrame = "sim.frame";
 inline constexpr std::string_view kFaultBatchFrame = "batch.frame";
+inline constexpr std::string_view kFaultServeAdmit = "serve.admit";
+inline constexpr std::string_view kFaultServeBatch = "serve.batch";
 
 class FaultInjector {
  public:
